@@ -1,0 +1,59 @@
+/**
+ * @file
+ * E1 — paper Fig. 1 / §2.1: VLIW instruction compression statistics
+ * over the compiled workload suite. Reports per-program code size,
+ * bytes per instruction, the distribution of instruction sizes, and
+ * the compression ratio against the uncompressed encoding (28 bytes
+ * per instruction). The published corner cases hold by construction:
+ * an empty instruction costs 2 bytes, a maximal one 28.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "tir/scheduler.hh"
+#include "workloads/workload.hh"
+
+using namespace tm3270;
+using namespace tm3270::workloads;
+
+int
+main()
+{
+    std::printf("E1 / Figure 1: instruction compression over the "
+                "workload programs (TM3270 schedule)\n");
+    std::printf("%-14s %8s %10s %12s %10s %8s\n", "program", "instrs",
+                "bytes", "bytes/instr", "uncomp", "ratio");
+
+    size_t tot_instrs = 0, tot_bytes = 0;
+    std::map<uint32_t, uint64_t> size_hist;
+    MachineConfig cfg = tm3270Config();
+
+    for (const Workload &w : table5Suite()) {
+        tir::CompiledProgram cp = tir::compile(w.build(), cfg);
+        size_t instrs = cp.encoded.insts.size();
+        size_t bytes = cp.encoded.bytes.size();
+        size_t uncomp = instrs * 28;
+        for (unsigned i = 0; i < instrs; ++i)
+            ++size_hist[cp.encoded.sizeOf(i)];
+        std::printf("%-14s %8zu %10zu %12.2f %10zu %8.2f\n",
+                    w.name.c_str(), instrs, bytes,
+                    double(bytes) / double(instrs), uncomp,
+                    double(uncomp) / double(bytes));
+        tot_instrs += instrs;
+        tot_bytes += bytes;
+    }
+    std::printf("%-14s %8zu %10zu %12.2f %10zu %8.2f\n", "total",
+                tot_instrs, tot_bytes,
+                double(tot_bytes) / double(tot_instrs), tot_instrs * 28,
+                double(tot_instrs * 28) / double(tot_bytes));
+
+    std::printf("\ninstruction size distribution (bytes : count):\n");
+    for (const auto &[sz, cnt] : size_hist)
+        std::printf("  %2u : %llu\n", sz,
+                    static_cast<unsigned long long>(cnt));
+    std::printf("(paper: empty instruction = 2 bytes, maximal = 28 "
+                "bytes; the template scheme efficiently encodes "
+                "low-ILP code)\n");
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * E9 — micro-characterization: prints the architecture tables
+ * (paper Tables 1 and 6) derived from the machine configurations,
+ * then runs google-benchmark micro-benchmarks of the simulator
+ * substrate itself (simulation rate, encode/decode, cache and CABAC
+ * throughput).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cabac/cabac.hh"
+#include "cache/cache.hh"
+#include "encode/decoder.hh"
+#include "tir/builder.hh"
+#include "tir/scheduler.hh"
+#include "workloads/workload.hh"
+
+using namespace tm3270;
+
+namespace
+{
+
+void
+printConfigTables()
+{
+    std::printf("E9: architecture characteristics (paper Tables 1 and "
+                "6)\n");
+    std::printf("%-24s %-26s %-26s\n", "feature", "TM3260 (A)",
+                "TM3270 (D)");
+    MachineConfig a = tm3260Config(), d = tm3270Config();
+    auto cache_str = [](const CacheGeometry &g) {
+        return strfmt("%u KB, %u B lines, %u-way", g.sizeBytes / 1024,
+                      g.lineBytes, g.assoc);
+    };
+    std::printf("%-24s %-26s %-26s\n", "frequency",
+                strfmt("%u MHz", a.freqMHz).c_str(),
+                strfmt("%u MHz", d.freqMHz).c_str());
+    std::printf("%-24s %-26s %-26s\n", "instruction cache",
+                cache_str(a.icache).c_str(), cache_str(d.icache).c_str());
+    std::printf("%-24s %-26s %-26s\n", "data cache",
+                cache_str(a.dcache).c_str(), cache_str(d.dcache).c_str());
+    std::printf("%-24s %-26s %-26s\n", "write-miss policy",
+                a.lsu.allocateOnWriteMiss ? "allocate" : "fetch",
+                d.lsu.allocateOnWriteMiss ? "allocate" : "fetch");
+    std::printf("%-24s %-26u %-26u\n", "load latency", a.loadLatency,
+                d.loadLatency);
+    std::printf("%-24s %-26u %-26u\n", "jump delay slots",
+                a.jumpDelaySlots, d.jumpDelaySlots);
+    std::printf("%-24s %-26u %-26u\n", "loads / instruction",
+                a.maxLoadsPerInst, d.maxLoadsPerInst);
+    std::printf("%-24s %-26s %-26s\n", "icache access",
+                a.icacheSequential ? "sequential" : "parallel",
+                d.icacheSequential ? "sequential" : "parallel");
+    std::printf("\n");
+}
+
+EncodedProgram
+counterProgram(unsigned iters)
+{
+    tir::Builder b;
+    tir::VReg i = b.var();
+    tir::VReg limit = b.var();
+    b.assign(i, b.imm32(0));
+    b.assign(limit, b.imm32(int32_t(iters - 8)));
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+    b.setBlock(loop);
+    tir::VReg c = b.iles(i, limit);
+    b.assign(i, b.iaddi(i, 8));
+    b.jmpt(c, loop);
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(i);
+    tir::CompiledProgram cp =
+        tir::compile(b.take(), tm3270Config());
+    return cp.encoded;
+}
+
+void
+BM_SimulatorRate(benchmark::State &state)
+{
+    EncodedProgram prog = counterProgram(100000);
+    MainMemory mem(1 << 20);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        Processor cpu(tm3270Config(), mem);
+        cpu.loadProgram(prog);
+        RunResult r = cpu.run();
+        instrs += r.instrs;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorRate)->Unit(benchmark::kMillisecond);
+
+void
+BM_EncodeDecodeRoundtrip(benchmark::State &state)
+{
+    tir::CompiledProgram cp = tir::compile(
+        tm3270::workloads::memcpyWorkload().build(), tm3270Config());
+    for (auto _ : state) {
+        EncodedProgram p =
+            encodeProgram(cp.insts, cp.jumpTargets);
+        auto dec = decodeProgram(p.bytes);
+        benchmark::DoNotOptimize(dec.size());
+    }
+    state.counters["instrs"] = double(cp.insts.size());
+}
+BENCHMARK(BM_EncodeDecodeRoundtrip);
+
+void
+BM_CacheProbe(benchmark::State &state)
+{
+    Cache c(CacheGeometry{"bench", 128 * 1024, 4, 128, true});
+    MainMemory mem(1 << 22);
+    int way;
+    for (Addr a = 0; a < 128 * 1024; a += 128) {
+        c.allocate(a, way);
+        c.fillFromMemory(mem, a, way);
+    }
+    uint64_t hits = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        hits += c.probe(a) >= 0;
+        a = (a + 128) & (128 * 1024 - 1);
+    }
+    benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_CacheProbe);
+
+void
+BM_CabacGoldenDecode(benchmark::State &state)
+{
+    SyntheticField f = generateField(50000, 64, 0.85, 5);
+    for (auto _ : state) {
+        CabacDecoder dec(f.stream);
+        std::vector<CabacContext> ctx = f.initCtx;
+        unsigned sum = 0;
+        for (size_t i = 0; i < f.bins.size(); ++i)
+            sum += dec.decodeBit(ctx[f.ctxSequence[i]]);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.counters["bins/s"] = benchmark::Counter(
+        double(f.bins.size()) * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CabacGoldenDecode)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printConfigTables();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * E3 — paper Fig. 3 / §2.3: memory-region based prefetching for
+ * block-based image processing.
+ *
+ * An image of bytes is processed at 4x4 block granularity, blocks
+ * left-to-right and top-down. Three prefetch settings are compared on
+ * the TM3270:
+ *   - no prefetching;
+ *   - traditional next-sequential line prefetch (stride = 128, the
+ *     line size);
+ *   - region prefetch with stride = image width * block height, so
+ *     the row of blocks below is fetched while the current row is
+ *     processed (the paper's Figure 3 pattern).
+ */
+
+#include <cstdio>
+
+#include "tir/builder.hh"
+#include "tir/scheduler.hh"
+#include "workloads/workload.hh"
+
+using namespace tm3270;
+using tir::Builder;
+using tir::VReg;
+
+namespace
+{
+
+constexpr unsigned W = 512;
+constexpr unsigned H = 256;
+constexpr unsigned blockH = 4;
+constexpr Addr img = 0x00100000;
+constexpr Addr out = 0x00200000;
+
+tir::TirProgram
+buildBlockKernel()
+{
+    Builder b;
+    VReg py = b.var(); ///< current block-row base
+    VReg po = b.var();
+    VReg yend = b.var();
+    b.assign(py, b.imm32(int32_t(img)));
+    b.assign(po, b.imm32(int32_t(out)));
+    b.assign(yend, b.imm32(int32_t(img + W * H)));
+
+    int row_loop = b.newBlock();
+    int col_loop = b.newBlock();
+    int row_next = b.newBlock();
+    int done = b.newBlock();
+
+    b.setBlock(0);
+    b.jmpi(row_loop);
+
+    b.setBlock(row_loop);
+    VReg px = b.var();
+    VReg xend = b.var();
+    b.assign(px, py);
+    b.assign(xend, b.iadd(py, b.imm32(int32_t(W))));
+    b.jmpi(col_loop);
+
+    b.setBlock(col_loop);
+    {
+        // One 4x4 block: four word loads, a reduction, and some
+        // block-level processing work.
+        VReg w0 = b.ld32d(px, 0);
+        VReg w1 = b.ld32d(px, int32_t(W));
+        VReg w2 = b.ld32d(px, int32_t(2 * W));
+        VReg w3 = b.ld32d(px, int32_t(3 * W));
+        VReg s0 = b.ume8uu(w0, b.zero());
+        VReg s1 = b.ume8uu(w1, b.zero());
+        VReg s2 = b.ume8uu(w2, b.zero());
+        VReg s3 = b.ume8uu(w3, b.zero());
+        VReg sum = b.iadd(b.iadd(s0, s1), b.iadd(s2, s3));
+        // Block processing: a short dependent computation.
+        VReg t = b.ixor(b.imul(sum, b.imm32(2654435761)),
+                        b.lsri(sum, 3));
+        t = b.iadd(t, b.quadavg(w0, w3));
+        b.st32r(t, po, b.zero());
+        b.assign(po, b.iaddi(po, 4));
+        b.assign(px, b.iaddi(px, 4));
+        VReg more = b.ilesu(px, xend);
+        b.jmpt(more, col_loop);
+    }
+
+    b.setBlock(row_next);
+    {
+        b.assign(py, b.iadd(py, b.imm32(int32_t(W * blockH))));
+        VReg more = b.ilesu(py, yend);
+        b.jmpt(more, row_loop);
+    }
+
+    b.setBlock(done);
+    b.halt(b.zero());
+    return b.take();
+}
+
+struct Mode
+{
+    const char *name;
+    int32_t stride; ///< 0 = no prefetch
+};
+
+} // namespace
+
+int
+main()
+{
+    const Mode modes[] = {
+        {"no prefetch", 0},
+        {"next-sequential (stride 128)", 128},
+        {"region, stride = width*4", int32_t(W * blockH)},
+    };
+
+    std::printf("E3 / Figure 3: region prefetching, %ux%u image, 4x4 "
+                "blocks (TM3270)\n",
+                W, H);
+    std::printf("%-30s %10s %10s %10s %10s %8s\n", "mode", "cycles",
+                "stalls", "misses", "pf-useful", "speedup");
+
+    MachineConfig cfg = tm3270Config();
+    tir::CompiledProgram cp = tir::compile(buildBlockKernel(), cfg);
+    double base_cycles = 0;
+    for (const Mode &m : modes) {
+        System sys(cfg);
+        workloads::fillRandom(sys, img, W * H, 42);
+        if (m.stride != 0) {
+            sys.processor.lsu().prefetcher().setRegion(0, img,
+                                                       img + W * H,
+                                                       m.stride);
+        }
+        RunResult r = sys.runProgram(cp.encoded);
+        const auto &ls = sys.processor.lsu().stats;
+        if (m.stride == 0)
+            base_cycles = double(r.cycles);
+        std::printf("%-30s %10llu %10llu %10llu %10llu %8.2f\n", m.name,
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.stallCycles),
+                    static_cast<unsigned long long>(
+                        ls.get("load_line_misses")),
+                    static_cast<unsigned long long>(
+                        ls.get("prefetch_useful")),
+                    base_cycles / double(r.cycles));
+    }
+    std::printf("(paper: with the row-of-blocks stride, processing "
+                "incurs no stall cycles once prefetch keeps ahead)\n");
+    return 0;
+}

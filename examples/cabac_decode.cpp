@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CABAC example: generate an H.264-style CABAC bitstream with the
+ * golden-model arithmetic encoder, then decode it three ways —
+ * with the host golden model (the paper's Fig. 2 function), with the
+ * plain-operation TM3270 program, and with the SUPER_CABAC two-slot
+ * operations — and compare work per decoded bin.
+ *
+ * Run: ./build/examples/cabac_decode
+ */
+
+#include <cstdio>
+
+#include "support/logging.hh"
+#include "tir/scheduler.hh"
+#include "workloads/cabac_prog.hh"
+
+using namespace tm3270;
+using namespace tm3270::workloads;
+
+int
+main()
+{
+    // A ~50 kbit synthetic field with 64 contexts.
+    SyntheticField field = generateField(50000, 64, 0.82, 2026);
+    std::printf("synthetic CABAC field: %zu stream bits, %zu bins "
+                "(%.2f bins/bit)\n",
+                field.streamBits, field.bins.size(),
+                double(field.bins.size()) / double(field.streamBits));
+
+    // Host golden model (paper Fig. 2, bit-exact).
+    {
+        CabacDecoder dec(field.stream);
+        std::vector<CabacContext> ctx = field.initCtx;
+        size_t errors = 0;
+        for (size_t i = 0; i < field.bins.size(); ++i)
+            errors += dec.decodeBit(ctx[field.ctxSequence[i]]) !=
+                      field.bins[i];
+        std::printf("golden model: %zu decode errors, %zu bits "
+                    "consumed\n",
+                    errors, dec.bitsConsumed());
+    }
+
+    // TM3270 programs.
+    for (bool optimized : {false, true}) {
+        System sys(tm3270Config());
+        stageCabacField(sys, field);
+        tir::CompiledProgram cp = tir::compile(
+            buildCabacDecode(unsigned(field.bins.size()), optimized),
+            tm3270Config());
+        RunResult r = sys.runProgram(cp.encoded);
+        std::string err;
+        if (!verifyCabacBits(sys, field, err))
+            fatal("decode mismatch: %s", err.c_str());
+        std::printf("%-28s %9llu VLIW instrs  %5.1f instr/bin  "
+                    "%5.1f instr/bit\n",
+                    optimized ? "TM3270 + SUPER_CABAC ops:"
+                              : "TM3270 plain operations:",
+                    static_cast<unsigned long long>(r.instrs),
+                    double(r.instrs) / double(field.bins.size()),
+                    double(r.instrs) / double(field.streamBits));
+    }
+
+    std::printf("\nAt 350 MHz the TM3270 sustains the CABAC decode "
+                "rates that standard-definition H.264 requires "
+                "(paper §7).\n");
+    return 0;
+}

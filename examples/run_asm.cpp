@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Command-line runner for TriMedia-style assembly files.
+ *
+ *   ./build/examples/run_asm prog.tma [A|B|C|D] [--disasm] [--stats]
+ *
+ * Assembles the file, optionally prints the disassembly (with the
+ * encoded byte cost per instruction), runs it on the selected machine
+ * configuration and reports the result and key statistics.
+ *
+ * Example program (sum of squares 1..10):
+ *
+ *   imm16 #0 -> r2 | imm16 #1 -> r3
+ *   loop:
+ *   imul r3 r3 -> r4
+ *   iaddi r3 #1 -> r3
+ *   nop
+ *   iadd r2 r4 -> r2 | ilesi r3 #11 -> r5
+ *   if r5 jmpt @loop
+ *   nop
+ *   nop
+ *   nop
+ *   nop
+ *   nop
+ *   halt r2
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "core/system.hh"
+#include "support/logging.hh"
+
+using namespace tm3270;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s file.tma [A|B|C|D] [--disasm] "
+                     "[--stats]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    char config = 'D';
+    bool want_disasm = false, want_stats = false;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--disasm") == 0)
+            want_disasm = true;
+        else if (std::strcmp(argv[i], "--stats") == 0)
+            want_stats = true;
+        else if (std::strlen(argv[i]) == 1)
+            config = argv[i][0];
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[1]);
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    try {
+        AsmProgram prog = assemble(ss.str());
+        EncodedProgram enc = prog.encode();
+
+        if (want_disasm) {
+            std::printf("%s", disassemble(prog.insts,
+                                          prog.jumpTargets).c_str());
+            std::printf("; %zu instructions, %zu bytes encoded "
+                        "(%.2f bytes/instr, 28 uncompressed)\n\n",
+                        prog.insts.size(), enc.bytes.size(),
+                        double(enc.bytes.size()) /
+                            double(prog.insts.size()));
+        }
+
+        MachineConfig cfg = configByLetter(config);
+        System sys(cfg);
+        RunResult r = sys.runProgram(enc);
+        std::printf("[%s @ %u MHz] exit value: %u (0x%08x)\n",
+                    cfg.name.c_str(), cfg.freqMHz, r.exitValue,
+                    r.exitValue);
+        std::printf("instructions %llu, cycles %llu (%.1f us), "
+                    "CPI %.2f, OPI %.2f\n",
+                    static_cast<unsigned long long>(r.instrs),
+                    static_cast<unsigned long long>(r.cycles),
+                    r.microseconds(cfg.freqMHz), r.cpi(), r.opi());
+        if (want_stats) {
+            std::printf("\n");
+            sys.processor.stats.dump(std::cout);
+            sys.processor.lsu().stats.dump(std::cout);
+            sys.processor.lsu().dcache().stats.dump(std::cout);
+            sys.processor.biu().stats.dump(std::cout);
+        }
+        if (!sys.processor.mmio().debugOutput().empty()) {
+            std::printf("debug output: %s\n",
+                        sys.processor.mmio().debugOutput().c_str());
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

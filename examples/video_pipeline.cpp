@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Video pipeline example: the workloads the paper's introduction
+ * motivates. Runs motion-compensated temporal up-conversion and the
+ * MPEG2 texture pipeline, first in the portable TriMedia subset and
+ * then with the TM3270's new operations and prefetching — showing the
+ * prefetch region registers being programmed over MMIO and the effect
+ * on stall cycles.
+ *
+ * Run: ./build/examples/video_pipeline
+ */
+
+#include <cstdio>
+
+#include "support/logging.hh"
+#include "tir/scheduler.hh"
+#include "workloads/texture.hh"
+#include "workloads/upconv.hh"
+
+using namespace tm3270;
+using namespace tm3270::workloads;
+
+namespace
+{
+
+void
+runUpconv(const char *label, const UpconvFlags &flags)
+{
+    System sys(tm3270Config());
+    stageUpconversion(sys, 7);
+    tir::CompiledProgram cp =
+        tir::compile(buildUpconversion(flags), tm3270Config());
+    RunResult r = sys.runProgram(cp.encoded);
+    std::string err;
+    if (!verifyUpconversion(sys, 7, err))
+        fatal("up-conversion output mismatch: %s", err.c_str());
+
+    const auto &lsu = sys.processor.lsu().stats;
+    std::printf("%-36s %9llu cycles %8llu stalls  "
+                "(%llu prefetches useful)\n",
+                label, static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.stallCycles),
+                static_cast<unsigned long long>(
+                    lsu.get("prefetch_useful")));
+}
+
+void
+runTexture(const char *label, bool two_slot)
+{
+    System sys(tm3270Config());
+    stageTexture(sys, 7);
+    tir::CompiledProgram cp =
+        tir::compile(buildTexturePipeline(two_slot), tm3270Config());
+    RunResult r = sys.runProgram(cp.encoded);
+    std::string err;
+    if (!verifyTexture(sys, 7, err))
+        fatal("texture output mismatch: %s", err.c_str());
+    std::printf("%-36s %9llu cycles   OPI %.2f\n", label,
+                static_cast<unsigned long long>(r.cycles), r.opi());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Temporal up-conversion (%ux%u fields, half-pel "
+                "motion):\n",
+                upconv_geom::W, upconv_geom::H);
+    runUpconv("  portable TriMedia subset", UpconvFlags{false, false});
+    runUpconv("  + LD_FRAC8 / non-aligned", UpconvFlags{true, false});
+    runUpconv("  + prefetch regions (MMIO)", UpconvFlags{true, true});
+
+    std::printf("\nMPEG2 texture pipeline (%u rows):\n",
+                texture_geom::numRows);
+    runTexture("  scalar multiplies", false);
+    runTexture("  SUPER_DUALIMIX two-slot ops", true);
+
+    std::printf("\nAll outputs verified bit-exactly against the host "
+                "reference implementations.\n");
+    return 0;
+}

@@ -1,0 +1,355 @@
+#include "asm/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+namespace
+{
+
+/** Whitespace-and-token scanner for one line. */
+struct LineLexer
+{
+    std::string line;
+    size_t pos = 0;
+
+    void
+    skipWs()
+    {
+        while (pos < line.size() && std::isspace(uint8_t(line[pos])))
+            ++pos;
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos >= line.size();
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return pos < line.size() ? line[pos] : '\0';
+    }
+
+    /** Next token: an identifier, number, or single punctuation. */
+    std::string
+    next()
+    {
+        skipWs();
+        if (pos >= line.size())
+            return "";
+        char c = line[pos];
+        if (std::isalnum(uint8_t(c)) || c == '_' || c == '-') {
+            size_t start = pos;
+            while (pos < line.size() &&
+                   (std::isalnum(uint8_t(line[pos])) || line[pos] == '_' ||
+                    line[pos] == '-')) {
+                ++pos;
+            }
+            return line.substr(start, pos - start);
+        }
+        ++pos;
+        if (c == '-' && pos < line.size() &&
+            std::isdigit(uint8_t(line[pos]))) {
+            size_t start = pos;
+            while (pos < line.size() && std::isdigit(uint8_t(line[pos])))
+                ++pos;
+            return "-" + line.substr(start, pos - start);
+        }
+        return std::string(1, c);
+    }
+};
+
+RegIndex
+parseReg(const std::string &tok, int line_no)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        fatal("line %d: expected register, got '%s'", line_no,
+              tok.c_str());
+    int v = std::atoi(tok.c_str() + 1);
+    if (v < 0 || v >= int(numRegs))
+        fatal("line %d: bad register '%s'", line_no, tok.c_str());
+    return static_cast<RegIndex>(v);
+}
+
+int32_t
+parseInt(const std::string &tok, int line_no)
+{
+    try {
+        size_t idx = 0;
+        long v = std::stol(tok, &idx, 0);
+        if (idx != tok.size())
+            throw std::invalid_argument(tok);
+        return static_cast<int32_t>(v);
+    } catch (const std::exception &) {
+        fatal("line %d: bad integer '%s'", line_no, tok.c_str());
+    }
+}
+
+struct ParsedOp
+{
+    Operation op;
+    int slot = -1;          ///< explicit slot (0-based) or -1
+    std::string pendingLabel; ///< branch label to resolve
+};
+
+ParsedOp
+parseOp(LineLexer &lx, int line_no)
+{
+    ParsedOp p;
+    // Optional "[s]" slot pin.
+    if (lx.peek() == '[') {
+        lx.next();
+        p.slot = parseInt(lx.next(), line_no) - 1;
+        if (p.slot < 0 || p.slot >= int(numSlots))
+            fatal("line %d: bad slot", line_no);
+        if (lx.next() != "]")
+            fatal("line %d: expected ']'", line_no);
+    }
+    std::string tok = lx.next();
+    // Optional "if rN" guard.
+    if (tok == "if") {
+        p.op.guard = parseReg(lx.next(), line_no);
+        tok = lx.next();
+    }
+    Opcode opc = opFromName(tok);
+    if (opc == Opcode::NUM_OPCODES)
+        fatal("line %d: unknown operation '%s'", line_no, tok.c_str());
+    p.op.opc = opc;
+    const OpInfo &oi = opInfo(opc);
+
+    // Sources at their positions.
+    for (unsigned i = 0; i < 4; ++i) {
+        if (oi.readsSrc(i) && !(oi.isStore && false)) {
+            if (oi.isBranch && oi.imm == ImmKind::Imm16)
+                break; // imm16 branches have no register sources
+            p.op.src[i] = parseReg(lx.next(), line_no);
+        }
+    }
+    // Immediate.
+    if (oi.imm != ImmKind::None) {
+        char c = lx.peek();
+        if (c == '#') {
+            lx.next();
+            p.op.imm = parseInt(lx.next(), line_no);
+        } else if (c == '@') {
+            lx.next();
+            p.pendingLabel = lx.next();
+        } else {
+            fatal("line %d: expected '#imm' or '@label' for %s", line_no,
+                  tok.c_str());
+        }
+    }
+    // Destinations.
+    unsigned ndst = oi.isStore ? 1 : oi.numDst;
+    if (ndst > 0) {
+        if (lx.next() != "-" || lx.next() != ">")
+            fatal("line %d: expected '->' before destinations", line_no);
+        for (unsigned i = 0; i < ndst; ++i)
+            p.op.dst[i] = parseReg(lx.next(), line_no);
+    }
+    return p;
+}
+
+/** Allowed slots under the assembler's (TM3270) placement rules. */
+uint8_t
+placementMask(const Operation &op)
+{
+    const OpInfo &oi = op.info();
+    if (oi.isTwoSlot)
+        return oi.slotMask;
+    if (oi.isLoad)
+        return oi.fu == FuClass::FracLoad ? oi.slotMask : slotBit(5);
+    return oi.slotMask;
+}
+
+} // namespace
+
+AsmProgram
+assemble(const std::string &source)
+{
+    AsmProgram prog;
+    std::map<std::string, int> labels;
+    std::vector<std::pair<size_t, std::string>> fixups; // flat op, label
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+
+    while (std::getline(in, raw)) {
+        ++line_no;
+        // Strip comments.
+        size_t sc = raw.find(';');
+        if (sc != std::string::npos)
+            raw = raw.substr(0, sc);
+
+        LineLexer lx{raw, 0};
+        if (lx.atEnd())
+            continue;
+
+        // Labels: "name:" possibly followed by an instruction.
+        for (;;) {
+            size_t save = lx.pos;
+            std::string tok = lx.next();
+            if (!tok.empty() && lx.peek() == ':') {
+                lx.next();
+                if (labels.count(tok))
+                    fatal("line %d: duplicate label '%s'", line_no,
+                          tok.c_str());
+                labels[tok] = static_cast<int>(prog.insts.size());
+                continue;
+            }
+            lx.pos = save;
+            break;
+        }
+        if (lx.atEnd())
+            continue;
+
+        VliwInst inst;
+        bool slot_busy[numSlots] = {};
+        for (;;) {
+            ParsedOp p = parseOp(lx, line_no);
+            const OpInfo &oi = p.op.info();
+            int slot = p.slot;
+            if (slot < 0) {
+                uint8_t mask = placementMask(p.op);
+                for (unsigned s = 0; s < numSlots; ++s) {
+                    bool pair_ok = !oi.isTwoSlot ||
+                                   (s + 1 < numSlots && !slot_busy[s + 1]);
+                    if ((mask & slotBit(s + 1)) && !slot_busy[s] &&
+                        pair_ok) {
+                        slot = static_cast<int>(s);
+                        break;
+                    }
+                }
+                if (slot < 0)
+                    fatal("line %d: no free issue slot for %s", line_no,
+                          std::string(oi.mnemonic).c_str());
+            }
+            if (slot_busy[size_t(slot)])
+                fatal("line %d: issue slot %d used twice", line_no,
+                      slot + 1);
+            slot_busy[size_t(slot)] = true;
+            if (oi.isTwoSlot) {
+                tm_assert(slot + 1 < int(numSlots), "two-slot in slot 5");
+                if (slot_busy[size_t(slot) + 1])
+                    fatal("line %d: companion slot %d busy", line_no,
+                          slot + 2);
+                slot_busy[size_t(slot) + 1] = true;
+            }
+            if (!p.pendingLabel.empty()) {
+                fixups.emplace_back(
+                    prog.insts.size() * numSlots + size_t(slot),
+                    p.pendingLabel);
+            }
+            inst.slot[size_t(slot)] = p.op;
+            if (lx.peek() == '|') {
+                lx.next();
+                continue;
+            }
+            if (!lx.atEnd())
+                fatal("line %d: trailing junk '%s'", line_no,
+                      raw.c_str() + lx.pos);
+            break;
+        }
+        prog.insts.push_back(inst);
+    }
+
+    prog.jumpTargets.assign(prog.insts.size(), false);
+    for (const auto &[flat, label] : fixups) {
+        auto it = labels.find(label);
+        if (it == labels.end())
+            fatal("undefined label '%s'", label.c_str());
+        if (it->second >= int(prog.insts.size()))
+            fatal("label '%s' points past the end", label.c_str());
+        prog.insts[flat / numSlots].slot[flat % numSlots].imm = it->second;
+        prog.jumpTargets[size_t(it->second)] = true;
+    }
+    // Literal #index branch targets also mark jump targets.
+    for (const auto &inst : prog.insts) {
+        for (const auto &op : inst.slot) {
+            if (op.used() && op.info().isBranch &&
+                op.info().imm == ImmKind::Imm16) {
+                if (op.imm >= 0 && size_t(op.imm) < prog.insts.size())
+                    prog.jumpTargets[size_t(op.imm)] = true;
+            }
+        }
+    }
+    return prog;
+}
+
+std::string
+disassemble(const std::vector<VliwInst> &insts,
+            const std::vector<bool> &jump_targets)
+{
+    std::ostringstream os;
+    // Name the labels.
+    std::map<size_t, std::string> label_of;
+    unsigned next_label = 0;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (i < jump_targets.size() && jump_targets[i])
+            label_of[i] = "L" + std::to_string(next_label++);
+    }
+
+    for (size_t i = 0; i < insts.size(); ++i) {
+        if (auto it = label_of.find(i); it != label_of.end())
+            os << it->second << ":\n";
+        os << "    ";
+        bool first = true;
+        bool any = false;
+        for (unsigned s = 0; s < numSlots; ++s) {
+            const Operation &op = insts[i].slot[s];
+            if (!op.used())
+                continue;
+            if (!first)
+                os << " | ";
+            first = false;
+            any = true;
+            os << '[' << (s + 1) << "] ";
+            if (op.info().isBranch && op.info().imm == ImmKind::Imm16 &&
+                label_of.count(size_t(op.imm))) {
+                // Re-format with a label instead of the raw index.
+                Operation tmp = op;
+                std::string body = formatOperation(tmp);
+                size_t hash = body.find('#');
+                os << body.substr(0, hash) << '@'
+                   << label_of[size_t(op.imm)];
+            } else {
+                os << formatOperation(op);
+            }
+        }
+        if (!any)
+            os << "nop";
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const EncodedProgram &prog)
+{
+    // Translate branch byte offsets back to instruction indices.
+    std::vector<VliwInst> insts = prog.insts;
+    std::vector<bool> targets(insts.size(), false);
+    for (auto &inst : insts) {
+        for (auto &op : inst.slot) {
+            if (op.used() && op.info().isBranch &&
+                op.info().imm == ImmKind::Imm16) {
+                int idx = prog.indexAt(static_cast<uint32_t>(op.imm));
+                tm_assert(idx >= 0, "branch to a non-instruction offset");
+                op.imm = idx;
+                targets[size_t(idx)] = true;
+            }
+        }
+    }
+    return disassemble(insts, targets);
+}
+
+} // namespace tm3270

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Textual TriMedia-style assembler and disassembler.
+ *
+ * Syntax (one VLIW instruction per line, operations separated by '|'):
+ *
+ *     ; comment
+ *     loop:
+ *         iadd r2 r3 -> r4 | ld32d r6 #8 -> r7
+ *         if r5 jmpt @loop
+ *         st32d r3 #4 -> r2          ; mem[r3 + 4] = r2
+ *         super_dualimix r2 r3 r4 r5 -> r6 r7
+ *         halt r0
+ *
+ * An optional "[s]" prefix pins an operation to issue slot s;
+ * otherwise slots are assigned first-fit (loads to slot 5, the TM3270
+ * rule). Stores name the value register after "->" (mirroring the
+ * disassembler). Branch targets are "@label" or a literal "#index"
+ * (instruction index).
+ */
+
+#ifndef TM3270_ASM_ASSEMBLER_HH
+#define TM3270_ASM_ASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "encode/encoder.hh"
+#include "isa/operation.hh"
+
+namespace tm3270
+{
+
+/** Result of assembling a source text. */
+struct AsmProgram
+{
+    std::vector<VliwInst> insts;
+    std::vector<bool> jumpTargets;
+
+    /** Encode into a binary image. */
+    EncodedProgram encode() const { return encodeProgram(insts, jumpTargets); }
+};
+
+/** Assemble @p source. Throws FatalError with a line diagnostic. */
+AsmProgram assemble(const std::string &source);
+
+/** Disassemble instructions (branch immediates = instruction indices). */
+std::string disassemble(const std::vector<VliwInst> &insts,
+                        const std::vector<bool> &jump_targets);
+
+/** Disassemble an encoded program (translating byte offsets back). */
+std::string disassemble(const EncodedProgram &prog);
+
+} // namespace tm3270
+
+#endif // TM3270_ASM_ASSEMBLER_HH

@@ -1,0 +1,142 @@
+#include "cabac/cabac.hh"
+
+#include <random>
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+CabacEncoder::CabacEncoder() = default;
+
+void
+CabacEncoder::putOne(unsigned b)
+{
+    // H.264 PutBit: the very first bit is a sentinel from the 10-bit
+    // low register and is not transmitted (firstBitFlag).
+    if (firstBit)
+        firstBit = false;
+    else
+        out.putBit(b);
+}
+
+void
+CabacEncoder::putBitFollow(unsigned b)
+{
+    putOne(b);
+    while (outstanding > 0) {
+        putOne(b ^ 1);
+        --outstanding;
+    }
+}
+
+void
+CabacEncoder::encodeBit(CabacContext &ctx, unsigned bit)
+{
+    uint32_t rlps = lpsRangeTable[ctx.state][(range >> 6) & 3];
+    range -= rlps;
+    if ((bit & 1) == ctx.mps) {
+        ctx.state = mpsNextStateTable[ctx.state];
+    } else {
+        low += range;
+        range = rlps;
+        if (ctx.state == 0)
+            ctx.mps ^= 1;
+        ctx.state = lpsNextStateTable[ctx.state];
+    }
+    while (range < 256) {
+        if (low >= 512) {
+            putBitFollow(1);
+            low -= 512;
+        } else if (low < 256) {
+            putBitFollow(0);
+        } else {
+            ++outstanding;
+            low -= 256;
+        }
+        low <<= 1;
+        range <<= 1;
+    }
+}
+
+std::vector<uint8_t>
+CabacEncoder::finish()
+{
+    // Emit the 10 bits of low; any stream completing this prefix
+    // decodes identically because low lies inside [low, low + range).
+    for (unsigned i = 10; i-- > 0;)
+        putBitFollow((low >> i) & 1);
+    out.alignByte();
+    std::vector<uint8_t> bytes = out.data();
+    // Guard bytes: the decoder reads 32-bit windows.
+    for (int i = 0; i < 8; ++i)
+        bytes.push_back(0);
+    return bytes;
+}
+
+CabacDecoder::CabacDecoder(const std::vector<uint8_t> &stream) : buf(stream)
+{
+    tm_assert(buf.size() >= 8, "stream too short");
+    // Initialization: value = first 9 stream bits (H.264 §9.3.1.2).
+    BitReader r(buf);
+    value = static_cast<uint32_t>(r.get(9));
+    pos = 9;
+}
+
+uint32_t
+CabacDecoder::window(size_t byte_index) const
+{
+    auto at = [&](size_t i) -> uint32_t {
+        return i < buf.size() ? buf[i] : 0;
+    };
+    return (at(byte_index) << 24) | (at(byte_index + 1) << 16) |
+           (at(byte_index + 2) << 8) | at(byte_index + 3);
+}
+
+unsigned
+CabacDecoder::decodeBit(CabacContext &ctx)
+{
+    uint32_t stream_data = window(pos / 8);
+    uint32_t bit_pos = pos % 8;
+    CabacStep st = biariDecodeSymbol(value, range, ctx.state, ctx.mps,
+                                     stream_data, bit_pos);
+    value = st.value;
+    range = st.range;
+    ctx.state = static_cast<uint8_t>(st.state);
+    ctx.mps = static_cast<uint8_t>(st.mps);
+    pos += st.bitPos - bit_pos;
+    return st.bit;
+}
+
+SyntheticField
+generateField(size_t target_bits, unsigned num_ctx, double p_mps,
+              uint64_t seed)
+{
+    tm_assert(num_ctx > 0 && num_ctx <= 256, "bad context count");
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<unsigned> ctx_dist(0, num_ctx - 1);
+    std::uniform_real_distribution<double> unif(0.0, 1.0);
+    std::uniform_int_distribution<unsigned> state_dist(0, 40);
+
+    SyntheticField f;
+    f.initCtx.resize(num_ctx);
+    for (auto &c : f.initCtx) {
+        c.state = static_cast<uint8_t>(state_dist(rng));
+        c.mps = static_cast<uint8_t>(rng() & 1);
+    }
+
+    std::vector<CabacContext> ctx = f.initCtx;
+    CabacEncoder enc;
+    while (enc.bitsProduced() + 16 < target_bits) {
+        unsigned ci = ctx_dist(rng);
+        unsigned bit = unif(rng) < p_mps ? ctx[ci].mps : (ctx[ci].mps ^ 1);
+        enc.encodeBit(ctx[ci], bit);
+        f.ctxSequence.push_back(static_cast<uint8_t>(ci));
+        f.bins.push_back(static_cast<uint8_t>(bit));
+    }
+    f.stream = enc.finish();
+    f.streamBits = (f.stream.size() - 8) * 8;
+    return f;
+}
+
+} // namespace tm3270

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * H.264-style CABAC golden model: the binary arithmetic encoder, a
+ * host-side decoder built directly on the biari_decode_symbol function
+ * of paper Fig. 2, and a synthetic field-bitstream generator used to
+ * reproduce Table 3.
+ */
+
+#ifndef TM3270_CABAC_CABAC_HH
+#define TM3270_CABAC_CABAC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/cabac_tables.hh"
+#include "support/bitstream.hh"
+
+namespace tm3270
+{
+
+/** One probability-model context: 6-bit state plus MPS bit. */
+struct CabacContext
+{
+    uint8_t state = 0;
+    uint8_t mps = 0;
+};
+
+/** H.264 binary arithmetic encoder (regular bins). */
+class CabacEncoder
+{
+  public:
+    CabacEncoder();
+
+    /** Encode one bin with context @p ctx (updating it). */
+    void encodeBit(CabacContext &ctx, unsigned bit);
+
+    /** Flush; returns the byte stream (padded with guard bytes so a
+     *  decoder can always read a full 32-bit window). */
+    std::vector<uint8_t> finish();
+
+    /** Bits produced so far (approximate until finish()). */
+    size_t bitsProduced() const { return out.bitSize() + outstanding; }
+
+  private:
+    uint32_t low = 0;
+    uint32_t range = 510;
+    uint64_t outstanding = 0;
+    bool firstBit = true; ///< H.264: the first output bit is discarded
+    BitWriter out;
+
+    void putBitFollow(unsigned b);
+    void putOne(unsigned b);
+};
+
+/**
+ * Host-side CABAC decoder built on the paper's biari_decode_symbol
+ * (Fig. 2). Maintains the 32-bit stream_data window and bit position
+ * exactly as the TM3270 operations see them.
+ */
+class CabacDecoder
+{
+  public:
+    explicit CabacDecoder(const std::vector<uint8_t> &stream);
+
+    /** Decode one bin with context @p ctx (updating it). */
+    unsigned decodeBit(CabacContext &ctx);
+
+    /** Total bits consumed from the stream. */
+    size_t bitsConsumed() const { return pos - 9; }
+
+  private:
+    const std::vector<uint8_t> &buf;
+    size_t pos = 0;   ///< absolute bit position of the next stream bit
+    uint32_t value = 0;
+    uint32_t range = 510;
+
+    uint32_t window(size_t byte_index) const;
+};
+
+/** A synthetic CABAC-coded "field" bitstream plus its ground truth. */
+struct SyntheticField
+{
+    std::vector<uint8_t> stream;       ///< encoded bytes (padded)
+    std::vector<uint8_t> ctxSequence;  ///< context index per bin
+    std::vector<uint8_t> bins;         ///< encoded bin values
+    std::vector<CabacContext> initCtx; ///< initial context states
+    size_t streamBits = 0;             ///< encoded payload bits
+};
+
+/**
+ * Generate a synthetic field bitstream of roughly @p target_bits coded
+ * bits using @p num_ctx contexts whose sources are Bernoulli with
+ * P(MPS) = @p p_mps. Higher p_mps compresses better: more bins per
+ * stream bit (B-fields), lower p_mps resembles I-fields.
+ */
+SyntheticField generateField(size_t target_bits, unsigned num_ctx,
+                             double p_mps, uint64_t seed);
+
+} // namespace tm3270
+
+#endif // TM3270_CABAC_CABAC_HH

@@ -1,0 +1,205 @@
+#include "cache/cache.hh"
+
+#include <algorithm>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+Cache::Cache(CacheGeometry g)
+    : stats(g.name), geom(std::move(g))
+{
+    tm_assert(isPow2(geom.lineBytes) && isPow2(geom.assoc) &&
+                  isPow2(geom.sizeBytes),
+              "cache geometry must be powers of two");
+    numSets = geom.numSets();
+    tm_assert(numSets > 0 && isPow2(numSets), "bad number of sets");
+    setShift = log2i(geom.lineBytes);
+    lines.resize(size_t(numSets) * geom.assoc);
+    if (geom.hasData) {
+        for (auto &l : lines) {
+            l.data.resize(geom.lineBytes);
+            l.vmask.resize(geom.lineBytes, false);
+        }
+    }
+}
+
+unsigned
+Cache::setOf(Addr line_addr) const
+{
+    return (line_addr >> setShift) & (numSets - 1);
+}
+
+Cache::Line &
+Cache::lineAt(Addr line_addr, int way)
+{
+    return lines[size_t(setOf(line_addr)) * geom.assoc + unsigned(way)];
+}
+
+const Cache::Line &
+Cache::lineAt(Addr line_addr, int way) const
+{
+    return lines[size_t(setOf(line_addr)) * geom.assoc + unsigned(way)];
+}
+
+int
+Cache::probe(Addr line_addr) const
+{
+    unsigned set = setOf(line_addr);
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        const Line &l = lines[size_t(set) * geom.assoc + w];
+        if (l.valid && l.lineAddr == line_addr)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+void
+Cache::touch(Addr line_addr, int way)
+{
+    lineAt(line_addr, way).lastUse = ++useTick;
+}
+
+bool
+Cache::bytesValid(Addr line_addr, int way, unsigned offset,
+                  unsigned len) const
+{
+    const Line &l = lineAt(line_addr, way);
+    if (!geom.hasData)
+        return true;
+    for (unsigned i = 0; i < len; ++i) {
+        if (!l.vmask[offset + i])
+            return false;
+    }
+    return true;
+}
+
+void
+Cache::readBytes(Addr line_addr, int way, unsigned offset, unsigned len,
+                 uint8_t *out) const
+{
+    const Line &l = lineAt(line_addr, way);
+    tm_assert(geom.hasData, "readBytes on tag-only cache");
+    tm_assert(offset + len <= geom.lineBytes, "line read overflow");
+    std::copy_n(l.data.begin() + offset, len, out);
+}
+
+void
+Cache::writeBytes(Addr line_addr, int way, unsigned offset, unsigned len,
+                  const uint8_t *data)
+{
+    Line &l = lineAt(line_addr, way);
+    tm_assert(geom.hasData, "writeBytes on tag-only cache");
+    tm_assert(offset + len <= geom.lineBytes, "line write overflow");
+    std::copy_n(data, len, l.data.begin() + offset);
+    std::fill_n(l.vmask.begin() + offset, len, true);
+    l.dirty = true;
+}
+
+Victim
+Cache::allocate(Addr line_addr, int &way_out)
+{
+    tm_assert(probe(line_addr) < 0, "allocating a resident line");
+    unsigned set = setOf(line_addr);
+
+    // Prefer an invalid way; otherwise evict LRU.
+    int victim_way = -1;
+    uint64_t best = ~0ULL;
+    for (unsigned w = 0; w < geom.assoc; ++w) {
+        Line &l = lines[size_t(set) * geom.assoc + w];
+        if (!l.valid) {
+            victim_way = static_cast<int>(w);
+            best = 0;
+            break;
+        }
+        if (l.lastUse < best) {
+            best = l.lastUse;
+            victim_way = static_cast<int>(w);
+        }
+    }
+
+    Line &l = lines[size_t(set) * geom.assoc + unsigned(victim_way)];
+    Victim v;
+    if (l.valid) {
+        v.valid = true;
+        v.dirty = l.dirty;
+        v.lineAddr = l.lineAddr;
+        if (geom.hasData && l.dirty) {
+            v.data = l.data;
+            v.vmask = l.vmask;
+            v.validBytes = static_cast<unsigned>(
+                std::count(l.vmask.begin(), l.vmask.end(), true));
+        }
+        stats.inc("evictions");
+        if (l.dirty)
+            stats.inc("copybacks");
+    }
+
+    l.valid = true;
+    l.dirty = false;
+    l.lineAddr = line_addr;
+    l.lastUse = ++useTick;
+    if (geom.hasData)
+        std::fill(l.vmask.begin(), l.vmask.end(), false);
+    stats.inc("allocations");
+    way_out = victim_way;
+    return v;
+}
+
+void
+Cache::fillFromMemory(const MainMemory &mem, Addr line_addr, int way)
+{
+    Line &l = lineAt(line_addr, way);
+    tm_assert(geom.hasData, "fillFromMemory on tag-only cache");
+    std::vector<uint8_t> buf(geom.lineBytes);
+    mem.read(line_addr, buf.data(), geom.lineBytes);
+    for (unsigned i = 0; i < geom.lineBytes; ++i) {
+        if (!l.vmask[i]) {
+            l.data[i] = buf[i];
+            l.vmask[i] = true;
+        }
+    }
+    stats.inc("refills");
+}
+
+void
+Cache::markAllValid(Addr line_addr, int way)
+{
+    Line &l = lineAt(line_addr, way);
+    if (geom.hasData)
+        std::fill(l.vmask.begin(), l.vmask.end(), true);
+}
+
+bool
+Cache::isDirty(Addr line_addr, int way) const
+{
+    return lineAt(line_addr, way).dirty;
+}
+
+void
+Cache::flush(MainMemory &mem)
+{
+    for (auto &l : lines) {
+        if (l.valid && l.dirty && geom.hasData) {
+            for (unsigned i = 0; i < geom.lineBytes; ++i) {
+                if (l.vmask[i])
+                    mem.setByte(l.lineAddr + i, l.data[i]);
+            }
+        }
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : lines) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+} // namespace tm3270

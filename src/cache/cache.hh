@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Set-associative cache core used for both the 128 KByte data cache
+ * and the 64 KByte instruction cache (paper Table 1 / §4.1).
+ *
+ * Features modeled after the paper:
+ *  - LRU replacement;
+ *  - copy-back write policy;
+ *  - byte-validity: a per-line bit mask tracks which bytes are valid,
+ *    enabling the allocate-on-write-miss policy (a line is allocated
+ *    on a write miss without fetching it; only validated bytes are
+ *    copied back on eviction);
+ *  - refill-merge: a refill only overwrites the *invalid* bytes of an
+ *    allocated line, preserving newer store data.
+ *
+ * The cache stores real data (it is the point of coherency while a
+ * line is dirty); the instruction cache runs in tag-only mode.
+ */
+
+#ifndef TM3270_CACHE_CACHE_HH
+#define TM3270_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memory/main_memory.hh"
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** Geometry and policy parameters of one cache. */
+struct CacheGeometry
+{
+    std::string name = "cache";
+    uint32_t sizeBytes = 128 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 128;
+    bool hasData = true; ///< false: tag-only model (instruction cache)
+
+    unsigned numSets() const { return sizeBytes / (assoc * lineBytes); }
+};
+
+/** Information about an evicted line, for the copy-back unit. */
+struct Victim
+{
+    bool valid = false;        ///< a line was evicted
+    bool dirty = false;        ///< it needs a copy-back
+    Addr lineAddr = 0;
+    unsigned validBytes = 0;   ///< number of validated bytes
+    std::vector<uint8_t> data;
+    std::vector<bool> vmask;
+};
+
+/** Set-associative cache with byte validity and LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(CacheGeometry geom);
+
+    const CacheGeometry &geometry() const { return geom; }
+    unsigned lineBytes() const { return geom.lineBytes; }
+
+    /** Line-aligned address containing @p addr. */
+    Addr lineAddrOf(Addr addr) const { return addr & ~(Addr(geom.lineBytes) - 1); }
+
+    /**
+     * Tag lookup. Returns the way holding @p line_addr or -1.
+     * Does not update LRU state.
+     */
+    int probe(Addr line_addr) const;
+
+    /** Mark @p way of the set of @p line_addr as most recently used. */
+    void touch(Addr line_addr, int way);
+
+    /** True when bytes [offset, offset+len) of the line are valid. */
+    bool bytesValid(Addr line_addr, int way, unsigned offset,
+                    unsigned len) const;
+
+    /** Read bytes from a resident line (data mode only). */
+    void readBytes(Addr line_addr, int way, unsigned offset, unsigned len,
+                   uint8_t *out) const;
+
+    /**
+     * Write bytes into a resident line; marks them valid and the line
+     * dirty (copy-back policy).
+     */
+    void writeBytes(Addr line_addr, int way, unsigned offset, unsigned len,
+                    const uint8_t *data);
+
+    /**
+     * Allocate a line for @p line_addr (all bytes invalid), evicting
+     * the LRU way if necessary. Returns the victim (for copy-back)
+     * and the allocated way through @p way_out.
+     */
+    Victim allocate(Addr line_addr, int &way_out);
+
+    /**
+     * Refill-merge: copy the memory image of the line into all bytes
+     * that are not yet valid, then mark the whole line valid.
+     */
+    void fillFromMemory(const MainMemory &mem, Addr line_addr, int way);
+
+    /** Mark all bytes of a resident line valid without data (tag-only). */
+    void markAllValid(Addr line_addr, int way);
+
+    /** Line dirty? */
+    bool isDirty(Addr line_addr, int way) const;
+
+    /**
+     * Write every dirty line's valid bytes back to memory and
+     * invalidate the whole cache. Functional (no timing); used at end
+     * of run so host code can inspect memory.
+     */
+    void flush(MainMemory &mem);
+
+    /** Invalidate everything without copy-back. */
+    void invalidateAll();
+
+    StatGroup stats;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr lineAddr = 0;
+        uint64_t lastUse = 0;
+        std::vector<uint8_t> data;
+        std::vector<bool> vmask;
+    };
+
+    CacheGeometry geom;
+    unsigned setShift;
+    unsigned numSets;
+    std::vector<Line> lines; ///< set-major: lines[set * assoc + way]
+    uint64_t useTick = 0;
+
+    unsigned setOf(Addr line_addr) const;
+    Line &lineAt(Addr line_addr, int way);
+    const Line &lineAt(Addr line_addr, int way) const;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_CACHE_CACHE_HH

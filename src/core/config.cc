@@ -1,0 +1,75 @@
+#include "core/config.hh"
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+MachineConfig
+tm3270Config()
+{
+    MachineConfig c;
+    c.name = "TM3270";
+    c.freqMHz = 350;
+    c.icache = CacheGeometry{"icache", 64 * 1024, 8, 128, false};
+    c.dcache = CacheGeometry{"dcache", 128 * 1024, 4, 128, true};
+    c.lsu.allocateOnWriteMiss = true;
+    c.loadLatency = 4;
+    c.jumpDelaySlots = 5;
+    c.loadSlotMask = slotBit(5);
+    c.maxLoadsPerInst = 1;
+    c.icacheSequential = true;
+    return c;
+}
+
+MachineConfig
+tm3260Config()
+{
+    MachineConfig c;
+    c.name = "TM3260";
+    c.freqMHz = 240;
+    c.icache = CacheGeometry{"icache", 64 * 1024, 8, 64, false};
+    c.dcache = CacheGeometry{"dcache", 16 * 1024, 8, 64, true};
+    c.lsu.allocateOnWriteMiss = false; // fetch-on-write-miss
+    c.loadLatency = 3;
+    c.jumpDelaySlots = 3;
+    c.loadSlotMask = slotBit(4) | slotBit(5);
+    c.maxLoadsPerInst = 2;
+    c.icacheSequential = false; // parallel cache design
+    return c;
+}
+
+MachineConfig
+configB()
+{
+    // TM3270 core and cache *design* (128-byte lines,
+    // allocate-on-write-miss) at TM3260 cache capacity and frequency.
+    MachineConfig c = tm3270Config();
+    c.name = "TM3270-B";
+    c.freqMHz = 240;
+    c.dcache = CacheGeometry{"dcache", 16 * 1024, 4, 128, true};
+    return c;
+}
+
+MachineConfig
+configC()
+{
+    MachineConfig c = configB();
+    c.name = "TM3270-C";
+    c.freqMHz = 350;
+    return c;
+}
+
+MachineConfig
+configByLetter(char letter)
+{
+    switch (letter) {
+      case 'A': return tm3260Config();
+      case 'B': return configB();
+      case 'C': return configC();
+      case 'D': return tm3270Config();
+      default: fatal("unknown configuration '%c'", letter);
+    }
+}
+
+} // namespace tm3270

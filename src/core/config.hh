@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Machine configurations. Table 6 of the paper defines the TM3260 and
+ * TM3270 characteristics; §6 defines the four measured configurations:
+ *
+ *   A: TM3260 (240 MHz, 16 KB D$, 64 B lines, 8-way,
+ *      fetch-on-write-miss, 3-cycle loads, 2 loads/instr, 3 delay
+ *      slots, parallel I$)
+ *   B: TM3270 core with TM3260 cache capacity at 240 MHz
+ *   C: as B at 350 MHz
+ *   D: TM3270 (350 MHz, 128 KB D$, 128 B lines, 4-way,
+ *      allocate-on-write-miss, 4-cycle loads, 1 load/instr, 5 delay
+ *      slots, sequential I$)
+ */
+
+#ifndef TM3270_CORE_CONFIG_HH
+#define TM3270_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cache.hh"
+#include "lsu/lsu.hh"
+
+namespace tm3270
+{
+
+/** Full parameterization of one processor configuration. */
+struct MachineConfig
+{
+    std::string name = "tm3270";
+    uint32_t freqMHz = 350;
+
+    CacheGeometry icache{"icache", 64 * 1024, 8, 128, false};
+    CacheGeometry dcache{"dcache", 128 * 1024, 4, 128, true};
+    LsuConfig lsu{};
+
+    /** Architectural load-use latency (Table 6). */
+    unsigned loadLatency = 4;
+    /** Jump delay slots (Table 6). */
+    unsigned jumpDelaySlots = 5;
+    /** Issue slots that may hold a load (bitmask, bit s-1 = slot s). */
+    uint8_t loadSlotMask = 0x10; // slot 5 only
+    /** Maximum loads per VLIW instruction (Table 6). */
+    unsigned maxLoadsPerInst = 1;
+    /**
+     * Sequential instruction cache design (tag then data) as on the
+     * TM3270; false models the TM3260's parallel design. Affects the
+     * power model's activity counts only.
+     */
+    bool icacheSequential = true;
+    /** Fetch chunk: a 32-byte aligned block per cycle (paper §3). */
+    unsigned fetchChunkBytes = 32;
+    /**
+     * Check that no operation reads a register before its pending
+     * writeback is due: catches scheduler latency violations.
+     */
+    bool strictLatencyCheck = true;
+
+    /** Supply voltage in volts (power model; 1.2 V typical, 0.8 min). */
+    double voltage = 1.2;
+};
+
+/** Configuration D: the TM3270. */
+MachineConfig tm3270Config();
+
+/** Configuration A: the TM3260 baseline. */
+MachineConfig tm3260Config();
+
+/** Configuration B: TM3270 core, TM3260 cache capacity, 240 MHz. */
+MachineConfig configB();
+
+/** Configuration C: TM3270 core, TM3260 cache capacity, 350 MHz. */
+MachineConfig configC();
+
+/** Lookup by letter 'A'..'D'. */
+MachineConfig configByLetter(char letter);
+
+} // namespace tm3270
+
+#endif // TM3270_CORE_CONFIG_HH

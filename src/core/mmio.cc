@@ -1,0 +1,61 @@
+#include "core/mmio.hh"
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+SocMmio::SocMmio(RegionPrefetcher &pf_, std::function<Cycles()> cycle_fn)
+    : pf(pf_), cycleFn(std::move(cycle_fn))
+{
+}
+
+bool
+SocMmio::handles(Addr addr) const
+{
+    return addr >= mmio_map::base && addr < mmio_map::base + mmio_map::size;
+}
+
+Word
+SocMmio::read(Addr addr)
+{
+    if (addr >= mmio_map::pfRegion &&
+        addr < mmio_map::pfRegion + 0x10 * RegionPrefetcher::numRegions) {
+        unsigned n = (addr - mmio_map::pfRegion) >> 4;
+        unsigned reg = ((addr - mmio_map::pfRegion) & 0xf) >> 2;
+        if (reg < 3)
+            return pfShadow[n][reg];
+        return 0;
+    }
+    switch (addr) {
+      case mmio_map::cycleLo:
+        return static_cast<Word>(cycleFn());
+      case mmio_map::cycleHi:
+        return static_cast<Word>(cycleFn() >> 32);
+      default:
+        return 0;
+    }
+}
+
+void
+SocMmio::write(Addr addr, Word value)
+{
+    if (addr >= mmio_map::pfRegion &&
+        addr < mmio_map::pfRegion + 0x10 * RegionPrefetcher::numRegions) {
+        unsigned n = (addr - mmio_map::pfRegion) >> 4;
+        unsigned reg = ((addr - mmio_map::pfRegion) & 0xf) >> 2;
+        if (reg < 3) {
+            pfShadow[n][reg] = value;
+            pf.setRegion(n, pfShadow[n][0], pfShadow[n][1],
+                         static_cast<int32_t>(pfShadow[n][2]));
+        }
+        return;
+    }
+    if (addr == mmio_map::debugChar) {
+        debugOut.push_back(static_cast<char>(value & 0xff));
+        return;
+    }
+    // Other addresses in the MMIO window are write-ignored.
+}
+
+} // namespace tm3270

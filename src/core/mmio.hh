@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory-mapped peripherals of the processor: the prefetch region
+ * registers (paper §2.3), a cycle counter, and a debug character
+ * output used by examples.
+ */
+
+#ifndef TM3270_CORE_MMIO_HH
+#define TM3270_CORE_MMIO_HH
+
+#include <functional>
+#include <string>
+
+#include "lsu/mmio.hh"
+#include "prefetch/region_prefetcher.hh"
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** MMIO register map. */
+namespace mmio_map
+{
+inline constexpr Addr base = 0xE0000000;
+inline constexpr Addr size = 0x00001000;
+/** PFn_START_ADDR at base + 0x10*n, END at +4, STRIDE at +8. */
+inline constexpr Addr pfRegion = base + 0x000;
+inline constexpr Addr cycleLo = base + 0x100;
+inline constexpr Addr cycleHi = base + 0x104;
+inline constexpr Addr debugChar = base + 0x200;
+} // namespace mmio_map
+
+/** The SoC peripherals visible to the processor. */
+class SocMmio : public MmioDevice
+{
+  public:
+    /**
+     * @param pf          the prefetcher whose regions the registers
+     *                    program
+     * @param cycle_fn    returns the current cycle count
+     */
+    SocMmio(RegionPrefetcher &pf, std::function<Cycles()> cycle_fn);
+
+    bool handles(Addr addr) const override;
+    Word read(Addr addr) override;
+    void write(Addr addr, Word value) override;
+
+    /** Characters written to the debug output register. */
+    const std::string &debugOutput() const { return debugOut; }
+    void clearDebugOutput() { debugOut.clear(); }
+
+  private:
+    RegionPrefetcher &pf;
+    std::function<Cycles()> cycleFn;
+    std::string debugOut;
+
+    /** Raw register shadow so reads return what was written. */
+    Word pfShadow[RegionPrefetcher::numRegions][3] = {};
+};
+
+} // namespace tm3270
+
+#endif // TM3270_CORE_MMIO_HH

@@ -1,0 +1,437 @@
+#include "core/processor.hh"
+
+#include "isa/semantics.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+namespace
+{
+
+/** Stat key for a functional-unit class. */
+const char *
+fuStatName(FuClass fu)
+{
+    switch (fu) {
+      case FuClass::Const: return "fu_const";
+      case FuClass::Alu: return "fu_alu";
+      case FuClass::Shifter: return "fu_shifter";
+      case FuClass::Mul: return "fu_mul";
+      case FuClass::DspAlu: return "fu_dspalu";
+      case FuClass::DspMul: return "fu_dspmul";
+      case FuClass::FAlu: return "fu_falu";
+      case FuClass::FComp: return "fu_fcomp";
+      case FuClass::FTough: return "fu_ftough";
+      case FuClass::Branch: return "fu_branch";
+      case FuClass::Load: return "fu_load";
+      case FuClass::Store: return "fu_store";
+      case FuClass::FracLoad: return "fu_fracload";
+      case FuClass::SuperLd: return "fu_superld";
+      case FuClass::SuperMix: return "fu_supermix";
+      case FuClass::Cabac: return "fu_cabac";
+      default: return "fu_none";
+    }
+}
+
+} // namespace
+
+Processor::Processor(MachineConfig cfg_, MainMemory &mem_)
+    : cfg(std::move(cfg_)),
+      mem(mem_),
+      biu_(mem_, cfg.freqMHz),
+      lsu_(cfg.lsu, cfg.dcache, biu_, mem_, nullptr),
+      icache_(cfg.icache),
+      mmio_(lsu_.prefetcher(), [this] { return cycle; })
+{
+    // The LSU is constructed before the MMIO device it routes to;
+    // attach the device now.
+    lsu_.setMmio(&mmio_);
+}
+
+void
+Processor::loadProgram(const EncodedProgram &p)
+{
+    prog = &p;
+    decodeCache.clear();
+    pc = 0;
+    nextTemplate = std::nullopt; // entry is a jump target
+    lastFetchChunk = ~Addr(0);
+    redirectCount = -1;
+    halted = false;
+}
+
+Word
+Processor::reg(RegIndex r) const
+{
+    if (r == regZero)
+        return 0;
+    if (r == regOne)
+        return 1;
+    return regs[r];
+}
+
+void
+Processor::setReg(RegIndex r, Word v)
+{
+    if (r == regZero || r == regOne)
+        return;
+    regs[r] = v;
+}
+
+Word
+Processor::readReg(RegIndex r)
+{
+    if (cfg.strictLatencyCheck && readyAt[r] > issueTick) {
+        fatal("latency violation: r%u read at tick %llu, ready at %llu",
+              unsigned(r), (unsigned long long)issueTick,
+              (unsigned long long)readyAt[r]);
+    }
+    stats.inc("regfile_reads");
+    return reg(r);
+}
+
+void
+Processor::scheduleWriteback(RegIndex r, Word v, unsigned latency)
+{
+    tm_assert(latency >= 1 && latency < wbRingSize, "bad latency %u",
+              latency);
+    if (r == regZero || r == regOne)
+        return; // writes to the constant registers are ignored
+    uint64_t due = issueTick + latency;
+    if (cfg.strictLatencyCheck && readyAt[r] > due) {
+        fatal("WAW ordering violation on r%u (due %llu, pending %llu)",
+              unsigned(r), (unsigned long long)due,
+              (unsigned long long)readyAt[r]);
+    }
+    readyAt[r] = due;
+    wbRing[due % wbRingSize].push_back({r, v});
+}
+
+void
+Processor::commitWritebacks()
+{
+    auto &slot = wbRing[issueTick % wbRingSize];
+    for (const auto &wb : slot) {
+        regs[wb.reg] = wb.value;
+        stats.inc("regfile_writes");
+    }
+    slot.clear();
+}
+
+const DecodedInst &
+Processor::decodeAt(Addr addr, std::optional<uint16_t> templ)
+{
+    auto it = decodeCache.find(addr);
+    if (it != decodeCache.end())
+        return it->second;
+    DecodedInst d = decodeInst(prog->bytes, addr, templ);
+    return decodeCache.emplace(addr, std::move(d)).first->second;
+}
+
+Cycles
+Processor::fetchTiming(Addr addr, uint32_t size)
+{
+    // The front-end fetches 32-byte aligned chunks into the
+    // instruction buffer; each new chunk probes the instruction cache.
+    Cycles stall = 0;
+    Addr first = alignDown(addr, cfg.fetchChunkBytes);
+    Addr last = alignDown(addr + size - 1, cfg.fetchChunkBytes);
+    for (Addr chunk = first; chunk <= last; chunk += cfg.fetchChunkBytes) {
+        if (chunk == lastFetchChunk ||
+            (lastFetchChunk != ~Addr(0) && chunk < lastFetchChunk)) {
+            continue;
+        }
+        lastFetchChunk = chunk;
+        stats.inc("icache_accesses");
+        stats.inc("icache_tag_reads", cfg.icache.assoc);
+        stats.inc("icache_data_reads",
+                  cfg.icacheSequential ? 1 : cfg.icache.assoc);
+        Addr line = icache_.lineAddrOf(chunk);
+        int way = icache_.probe(line);
+        if (way >= 0) {
+            icache_.touch(line, way);
+            continue;
+        }
+        stats.inc("icache_misses");
+        Cycles done = biu_.demandRead(imemTimingBase + line,
+                                      icache_.lineBytes(),
+                                      cycle + stall);
+        stall += done - (cycle + stall);
+        Victim v = icache_.allocate(line, way);
+        (void)v; // instruction cache lines are never dirty
+        icache_.markAllValid(line, way);
+    }
+    if (stall)
+        stats.inc("istall_cycles", stall);
+    return stall;
+}
+
+unsigned
+Processor::effLoadLatency(Opcode opc) const
+{
+    if (opc == Opcode::LD_FRAC8) {
+        // Collapsed loads with interpolation add the two filter
+        // stages X5/X6 (paper Fig. 5) on top of the load pipeline.
+        return cfg.loadLatency + 2;
+    }
+    return cfg.loadLatency;
+}
+
+void
+Processor::step()
+{
+    commitWritebacks();
+
+    const DecodedInst &di = decodeAt(pc, nextTemplate);
+    Cycles stall = fetchTiming(pc, di.size);
+
+    // Gather phase: all operations of a VLIW instruction read the
+    // register file in parallel, before any result of this or a later
+    // instruction commits.
+    struct Gathered
+    {
+        const Operation *op;
+        bool guardVal;
+        std::array<Word, 4> src;
+        Word storeValue;
+    };
+    std::array<Gathered, numSlots> g;
+    unsigned n_ops = 0;
+    unsigned loads_this_inst = 0;
+
+    for (unsigned s = 0; s < numSlots; ++s) {
+        const Operation &op = di.inst.slot[s];
+        if (!op.used())
+            continue;
+        const OpInfo &oi = op.info();
+        Gathered &ge = g[n_ops++];
+        ge.op = &op;
+        ge.guardVal = (readReg(op.guard) & 1) != 0;
+        ge.src = {0, 0, 0, 0};
+        for (unsigned i = 0; i < 4; ++i) {
+            if (oi.readsSrc(i))
+                ge.src[i] = readReg(op.src[i]);
+        }
+        ge.storeValue = oi.isStore ? readReg(op.dst[0]) : 0;
+
+        stats.inc(fuStatName(oi.fu));
+        if (oi.isLoad) {
+            ++loads_this_inst;
+            tm_assert(loads_this_inst <= cfg.maxLoadsPerInst,
+                      "too many loads in one instruction for %s",
+                      cfg.name.c_str());
+        }
+        // Issue-slot legality (configuration-dependent for loads).
+        uint8_t mask = oi.isLoad && !oi.isTwoSlot &&
+                               oi.fu != FuClass::FracLoad
+                           ? cfg.loadSlotMask
+                           : oi.slotMask;
+        if (op.opc == Opcode::SUPER_LD32R)
+            mask = oi.slotMask;
+        tm_assert(mask & slotBit(s + 1), "%s illegal in slot %u",
+                  std::string(oi.mnemonic).c_str(), s + 1);
+    }
+
+    // Execute phase.
+    bool do_halt = false;
+    bool branch_taken = false;
+    Addr branch_target = 0;
+
+    for (unsigned i = 0; i < n_ops; ++i) {
+        const Operation &op = *g[i].op;
+        const OpInfo &oi = op.info();
+        opsIssued += oi.isTwoSlot ? 2 : 1;
+
+        if (oi.isBranch) {
+            bool taken = false;
+            Addr target = 0;
+            switch (op.opc) {
+              case Opcode::JMPT:
+                taken = g[i].guardVal;
+                target = Addr(op.imm);
+                break;
+              case Opcode::JMPF:
+                taken = !g[i].guardVal;
+                target = Addr(op.imm);
+                break;
+              case Opcode::JMPI:
+                taken = true;
+                target = Addr(op.imm);
+                break;
+              case Opcode::JMPR:
+                taken = g[i].guardVal;
+                target = g[i].src[0];
+                break;
+              case Opcode::HALT:
+                if (g[i].guardVal) {
+                    do_halt = true;
+                    exitValue = g[i].src[0];
+                }
+                break;
+              default:
+                panic("unhandled branch opcode");
+            }
+            if (taken) {
+                tm_assert(!branch_taken && redirectCount < 0,
+                          "branch issued while a redirect is pending");
+                branch_taken = true;
+                branch_target = target;
+                stats.inc("branches_taken");
+            } else if (op.opc != Opcode::HALT) {
+                stats.inc("branches_not_taken");
+            }
+            continue;
+        }
+
+        if (oi.isLoad) {
+            if (!g[i].guardVal)
+                continue;
+            Addr addr = 0;
+            Word aux = 0;
+            switch (op.opc) {
+              case Opcode::LD8S: case Opcode::LD8U:
+              case Opcode::LD16S: case Opcode::LD16U:
+              case Opcode::LD32D:
+                addr = g[i].src[0] + Addr(op.imm);
+                break;
+              case Opcode::LD32R:
+                addr = g[i].src[0] + g[i].src[1];
+                break;
+              case Opcode::LD32X:
+                addr = g[i].src[0] + 4 * g[i].src[1];
+                break;
+              case Opcode::LD_FRAC8:
+                addr = g[i].src[0];
+                aux = g[i].src[1];
+                break;
+              case Opcode::SUPER_LD32R:
+                // Sources live in the second operation of the pair
+                // (paper Table 2: rsrc3 + rsrc4).
+                addr = g[i].src[2] + g[i].src[3];
+                break;
+              default:
+                panic("unhandled load opcode");
+            }
+            MemResult mr = lsu_.load(op.opc, addr, aux, cycle + stall);
+            stall += mr.stall;
+            scheduleWriteback(op.dst[0], mr.data[0],
+                              effLoadLatency(op.opc));
+            if (op.opc == Opcode::SUPER_LD32R) {
+                scheduleWriteback(op.dst[1], mr.data[1],
+                                  effLoadLatency(op.opc));
+            }
+            continue;
+        }
+
+        if (oi.isStore) {
+            if (!g[i].guardVal)
+                continue;
+            Addr addr = op.opc == Opcode::ST32R
+                            ? g[i].src[0] + g[i].src[1]
+                            : g[i].src[0] + Addr(op.imm);
+            stall += lsu_.store(op.opc, addr, g[i].storeValue,
+                                cycle + stall);
+            continue;
+        }
+
+        if (op.opc == Opcode::PREF) {
+            if (g[i].guardVal)
+                lsu_.softwarePrefetch(g[i].src[0] + Addr(op.imm),
+                                      cycle + stall);
+            continue;
+        }
+
+        // Pure operation.
+        if (!g[i].guardVal)
+            continue;
+        ExecResult er = execPure(op, g[i].src);
+        scheduleWriteback(op.dst[0], er.dst[0], oi.latency);
+        if (oi.numDst > 1)
+            scheduleWriteback(op.dst[1], er.dst[1], oi.latency);
+    }
+
+    // Advance.
+    ++instrsIssued;
+    ++issueTick;
+    cycle += 1 + stall;
+    stallTotal += stall;
+    if (stall)
+        stats.inc("dstall_or_istall_cycles", stall);
+    lsu_.tick(cycle);
+
+    if (do_halt) {
+        halted = true;
+        return;
+    }
+
+    if (branch_taken) {
+        redirectCount = static_cast<int>(cfg.jumpDelaySlots);
+        redirectTarget = branch_target;
+    }
+
+    if (redirectCount >= 0 && --redirectCount < 0) {
+        pc = redirectTarget;
+        nextTemplate = std::nullopt; // jump targets are uncompressed
+        lastFetchChunk = ~Addr(0);   // new fetch stream
+        redirectCount = -1;
+    } else {
+        pc += di.size;
+        nextTemplate = di.hasNextTemplate
+                           ? std::optional<uint16_t>(di.nextTemplate)
+                           : std::nullopt;
+    }
+}
+
+RunResult
+Processor::run(uint64_t max_instrs)
+{
+    tm_assert(prog != nullptr, "no program loaded");
+    RunResult r;
+    uint64_t start_instrs = instrsIssued;
+    Cycles start_cycles = cycle;
+    uint64_t start_ops = opsIssued;
+    Cycles start_stall = stallTotal;
+
+    while (!halted && instrsIssued - start_instrs < max_instrs) {
+        if (pc >= prog->bytes.size())
+            fatal("PC 0x%08x ran past the end of the program image", pc);
+        step();
+    }
+
+    r.halted = halted;
+    r.exitValue = exitValue;
+    r.cycles = cycle - start_cycles;
+    r.instrs = instrsIssued - start_instrs;
+    r.ops = opsIssued - start_ops;
+    r.stallCycles = stallTotal - start_stall;
+    stats.set("cycles", cycle);
+    stats.set("instrs", instrsIssued);
+    stats.set("ops", opsIssued);
+    return r;
+}
+
+void
+Processor::reset()
+{
+    regs.fill(0);
+    readyAt.fill(0);
+    for (auto &slot : wbRing)
+        slot.clear();
+    issueTick = 0;
+    cycle = 0;
+    stallTotal = 0;
+    pc = 0;
+    nextTemplate = std::nullopt;
+    redirectCount = -1;
+    halted = false;
+    exitValue = 0;
+    opsIssued = 0;
+    instrsIssued = 0;
+    lastFetchChunk = ~Addr(0);
+    icache_.invalidateAll();
+    decodeCache.clear();
+}
+
+} // namespace tm3270

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The TM3270 processor model: a 5-issue-slot VLIW with guarded
+ * operations, an exposed pipeline (results commit `latency` issue
+ * cycles after issue; earlier reads observe the old value), jump delay
+ * slots instead of branch prediction, a front-end with instruction
+ * cache and template-chained pre-decode, and the load/store unit of
+ * §4. Timing follows the pipeline of paper Fig. 4.
+ */
+
+#ifndef TM3270_CORE_PROCESSOR_HH
+#define TM3270_CORE_PROCESSOR_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/mmio.hh"
+#include "encode/decoder.hh"
+#include "encode/encoder.hh"
+#include "lsu/lsu.hh"
+#include "support/stats.hh"
+
+namespace tm3270
+{
+
+/** Outcome of a simulation run. */
+struct RunResult
+{
+    bool halted = false;
+    Word exitValue = 0;
+    Cycles cycles = 0;       ///< wall cycles including stalls
+    uint64_t instrs = 0;     ///< VLIW instructions issued
+    uint64_t ops = 0;        ///< operations issued (two-slot count 2)
+    Cycles stallCycles = 0;  ///< total stall cycles
+
+    double cpi() const { return instrs ? double(cycles) / instrs : 0.0; }
+    double opi() const { return instrs ? double(ops) / instrs : 0.0; }
+    /** Execution time in microseconds at @p freq_mhz. */
+    double
+    microseconds(uint32_t freq_mhz) const
+    {
+        return double(cycles) / freq_mhz;
+    }
+};
+
+/** The processor. Owns BIU, caches, LSU and MMIO; memory is shared. */
+class Processor
+{
+  public:
+    Processor(MachineConfig cfg, MainMemory &mem);
+
+    /** Install a program; the image lives in instruction space. */
+    void loadProgram(const EncodedProgram &prog);
+
+    /** Run until HALT or @p max_instrs instructions. */
+    RunResult run(uint64_t max_instrs = 1ull << 40);
+
+    /** Architectural register access (r0/r1 read as 0/1). */
+    Word reg(RegIndex r) const;
+    void setReg(RegIndex r, Word v);
+
+    Lsu &lsu() { return lsu_; }
+    Biu &biu() { return biu_; }
+    Cache &icache() { return icache_; }
+    SocMmio &mmio() { return mmio_; }
+    const MachineConfig &config() const { return cfg; }
+    Cycles cycles() const { return cycle; }
+
+    /** Reset architectural and micro-architectural state. */
+    void reset();
+
+    StatGroup stats{"cpu"};
+
+  private:
+    /** Instruction-space timing addresses are offset so that program
+     *  fetch traffic uses distinct DRAM rows from data traffic. */
+    static constexpr Addr imemTimingBase = 0x40000000;
+    static constexpr unsigned wbRingSize = 32;
+
+    MachineConfig cfg;
+    MainMemory &mem;
+    Biu biu_;
+    Lsu lsu_;
+    Cache icache_;
+    SocMmio mmio_;
+
+    const EncodedProgram *prog = nullptr;
+    std::unordered_map<Addr, DecodedInst> decodeCache;
+
+    // Architectural and pipeline state.
+    std::array<Word, numRegs> regs{};
+    struct Writeback
+    {
+        RegIndex reg;
+        Word value;
+    };
+    std::array<std::vector<Writeback>, wbRingSize> wbRing;
+    std::array<uint64_t, numRegs> readyAt{};
+
+    uint64_t issueTick = 0;
+    Cycles cycle = 0;
+    Cycles stallTotal = 0;
+    Addr pc = 0;
+    std::optional<uint16_t> nextTemplate; ///< nullopt: jump target next
+
+    int redirectCount = -1; ///< instructions until redirect; -1 = none
+    Addr redirectTarget = 0;
+    bool halted = false;
+    Word exitValue = 0;
+    uint64_t opsIssued = 0;
+    uint64_t instrsIssued = 0;
+
+    Addr lastFetchChunk = ~Addr(0);
+
+    const DecodedInst &decodeAt(Addr addr,
+                                std::optional<uint16_t> templ);
+    Word readReg(RegIndex r);
+    void scheduleWriteback(RegIndex r, Word v, unsigned latency);
+    void commitWritebacks();
+    Cycles fetchTiming(Addr addr, uint32_t size);
+    void step();
+    unsigned effLoadLatency(Opcode opc) const;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_CORE_PROCESSOR_HH

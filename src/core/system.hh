@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Convenience wrapper owning a memory and a processor, plus host-side
+ * helpers to stage data. All multi-byte values in the simulated memory
+ * are big-endian (matching the memory operation semantics).
+ */
+
+#ifndef TM3270_CORE_SYSTEM_HH
+#define TM3270_CORE_SYSTEM_HH
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/processor.hh"
+
+namespace tm3270
+{
+
+/** A memory plus a processor. */
+class System
+{
+  public:
+    explicit System(const MachineConfig &cfg,
+                    size_t mem_bytes = 32 * 1024 * 1024)
+        : memory(mem_bytes), processor(cfg, memory)
+    {}
+
+    MainMemory memory;
+    Processor processor;
+
+    /** Write a big-endian 32-bit word to simulated memory. */
+    void
+    poke32(Addr addr, Word v)
+    {
+        uint8_t b[4] = {uint8_t(v >> 24), uint8_t(v >> 16),
+                        uint8_t(v >> 8), uint8_t(v)};
+        memory.write(addr, b, 4);
+    }
+
+    /** Read a big-endian 32-bit word from simulated memory. */
+    Word
+    peek32(Addr addr) const
+    {
+        uint8_t b[4];
+        memory.read(addr, b, 4);
+        return (Word(b[0]) << 24) | (Word(b[1]) << 16) | (Word(b[2]) << 8)
+               | b[3];
+    }
+
+    void
+    writeBytes(Addr addr, const void *data, size_t len)
+    {
+        memory.write(addr, static_cast<const uint8_t *>(data), len);
+    }
+
+    void
+    readBytes(Addr addr, void *out, size_t len) const
+    {
+        memory.read(addr, static_cast<uint8_t *>(out), len);
+    }
+
+    /**
+     * Run a program to completion, flush caches so host code can
+     * inspect memory, and return the result.
+     */
+    RunResult
+    runProgram(const EncodedProgram &prog,
+               uint64_t max_instrs = 1ull << 40)
+    {
+        processor.loadProgram(prog);
+        RunResult r = processor.run(max_instrs);
+        processor.lsu().flushCaches();
+        return r;
+    }
+};
+
+} // namespace tm3270
+
+#endif // TM3270_CORE_SYSTEM_HH

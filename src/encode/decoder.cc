@@ -1,0 +1,161 @@
+#include "encode/decoder.hh"
+
+#include "support/bitops.hh"
+#include "support/bitstream.hh"
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+namespace
+{
+
+Operation
+decodeOp(BitReader &r, SlotFmt fmt)
+{
+    Operation op;
+    switch (fmt) {
+      case SlotFmt::Fmt26: {
+        auto opc = static_cast<unsigned>(r.get(8));
+        if (opc >= numOpcodes)
+            fatal("bad opcode %u in 26-bit encoding", opc);
+        op.opc = static_cast<Opcode>(opc);
+        op.guard = regOne;
+        op.dst[0] = static_cast<RegIndex>(r.get(6));
+        op.src[0] = static_cast<RegIndex>(r.get(6));
+        op.src[1] = static_cast<RegIndex>(r.get(6));
+        break;
+      }
+      case SlotFmt::Fmt34: {
+        auto ci = static_cast<unsigned>(r.get(6));
+        if (ci >= numCompactOpcodes())
+            fatal("bad compact opcode %u", ci);
+        op.opc = compactOpcode(ci);
+        op.guard = static_cast<RegIndex>(r.get(7));
+        op.dst[0] = static_cast<RegIndex>(r.get(7));
+        op.src[0] = static_cast<RegIndex>(r.get(7));
+        op.src[1] = static_cast<RegIndex>(r.get(7));
+        break;
+      }
+      case SlotFmt::Fmt42: {
+        auto opc = static_cast<unsigned>(r.get(9));
+        if (opc >= numOpcodes)
+            fatal("bad opcode %u in 42-bit encoding", opc);
+        op.opc = static_cast<Opcode>(opc);
+        op.guard = static_cast<RegIndex>(r.get(7));
+        switch (opInfo(op.opc).imm) {
+          case ImmKind::None:
+            op.dst[0] = static_cast<RegIndex>(r.get(7));
+            op.src[0] = static_cast<RegIndex>(r.get(7));
+            op.src[1] = static_cast<RegIndex>(r.get(7));
+            r.get(5);
+            break;
+          case ImmKind::Simm12:
+            op.dst[0] = static_cast<RegIndex>(r.get(7));
+            op.src[0] = static_cast<RegIndex>(r.get(7));
+            op.imm = static_cast<int32_t>(sext(r.get(12), 12));
+            break;
+          case ImmKind::Uimm12:
+            op.dst[0] = static_cast<RegIndex>(r.get(7));
+            op.src[0] = static_cast<RegIndex>(r.get(7));
+            op.imm = static_cast<int32_t>(r.get(12));
+            break;
+          case ImmKind::Imm16:
+            op.dst[0] = static_cast<RegIndex>(r.get(7));
+            op.imm = static_cast<int32_t>(r.get(16));
+            r.get(3);
+            break;
+        }
+        break;
+      }
+      default:
+        panic("decodeOp on unused slot");
+    }
+    if (op.opc == Opcode::NOP) {
+        // NOPs decode back to the canonical unused-slot operation.
+        op = Operation();
+    }
+    return op;
+}
+
+/** Fold SUPER_ARGS companions back into their two-slot main op. */
+void
+mergeTwoSlot(VliwInst &inst)
+{
+    for (unsigned s = 0; s < numSlots; ++s) {
+        Operation &op = inst.slot[s];
+        if (!op.used() || !op.info().isTwoSlot)
+            continue;
+        if (s + 1 >= numSlots || inst.slot[s + 1].opc != Opcode::SUPER_ARGS)
+            fatal("two-slot op %s lacks its companion",
+                  std::string(opName(op.opc)).c_str());
+        const Operation &args = inst.slot[s + 1];
+        op.dst[1] = args.dst[0];
+        op.src[2] = args.src[0];
+        op.src[3] = args.src[1];
+        inst.slot[s + 1] = Operation();
+        ++s;
+    }
+    for (const auto &op : inst.slot) {
+        if (op.opc == Opcode::SUPER_ARGS)
+            fatal("orphan SUPER_ARGS companion");
+    }
+}
+
+} // namespace
+
+DecodedInst
+decodeInst(const std::vector<uint8_t> &image, uint32_t offset,
+           std::optional<uint16_t> templ)
+{
+    if (offset >= image.size())
+        fatal("instruction fetch past end of image (offset %u)", offset);
+
+    BitReader r(image);
+    r.seekBits(size_t(offset) * 8);
+
+    DecodedInst d;
+    unsigned next_uncompressed = r.getBit();
+    d.hasNextTemplate = !next_uncompressed;
+    if (d.hasNextTemplate)
+        d.nextTemplate = static_cast<uint16_t>(r.get(10));
+
+    std::array<SlotFmt, numSlots> fmts;
+    if (!templ.has_value()) {
+        fmts.fill(SlotFmt::Fmt42);
+    } else {
+        uint16_t t = *templ;
+        for (unsigned s = 0; s < numSlots; ++s) {
+            fmts[s] = static_cast<SlotFmt>((t >> (2 * (numSlots - 1 - s)))
+                                           & 3);
+        }
+    }
+
+    for (unsigned s = 0; s < numSlots; ++s) {
+        if (fmts[s] != SlotFmt::Unused)
+            d.inst.slot[s] = decodeOp(r, fmts[s]);
+    }
+    mergeTwoSlot(d.inst);
+
+    d.size = static_cast<uint32_t>((r.bitPos() - size_t(offset) * 8 + 7)
+                                   / 8);
+    return d;
+}
+
+std::vector<VliwInst>
+decodeProgram(const std::vector<uint8_t> &image)
+{
+    std::vector<VliwInst> insts;
+    uint32_t offset = 0;
+    std::optional<uint16_t> templ; // instruction 0 is uncompressed
+    while (offset < image.size()) {
+        DecodedInst d = decodeInst(image, offset, templ);
+        insts.push_back(d.inst);
+        offset += d.size;
+        templ = d.hasNextTemplate ? std::optional<uint16_t>(d.nextTemplate)
+                                  : std::nullopt;
+    }
+    return insts;
+}
+
+} // namespace tm3270

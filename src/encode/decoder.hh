@@ -1,0 +1,55 @@
+/**
+ * @file
+ * VLIW instruction decoder: the model of the P-stage pre-decode logic.
+ * Decodes one instruction from the binary image given either the
+ * template announced by the previous instruction or, at a jump target,
+ * no template (uncompressed decode).
+ */
+
+#ifndef TM3270_ENCODE_DECODER_HH
+#define TM3270_ENCODE_DECODER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "encode/formats.hh"
+#include "isa/operation.hh"
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** One decoded instruction plus the chaining state for the next one. */
+struct DecodedInst
+{
+    VliwInst inst;
+    /** Encoded size in bytes (next instruction at offset + size). */
+    uint32_t size = 0;
+    /** Template for the next instruction, when present. */
+    uint16_t nextTemplate = 0;
+    /**
+     * False when the encoding carries no template: the next sequential
+     * instruction is a jump target and must be decoded uncompressed.
+     */
+    bool hasNextTemplate = false;
+};
+
+/**
+ * Decode the instruction at byte @p offset of @p image.
+ *
+ * @param templ template announced by the predecessor; std::nullopt
+ *              decodes an uncompressed (jump target) instruction.
+ */
+DecodedInst decodeInst(const std::vector<uint8_t> &image, uint32_t offset,
+                       std::optional<uint16_t> templ);
+
+/**
+ * Decode a whole program linearly from offset 0 (instruction 0 is
+ * always a jump target). Used by tests and the disassembler.
+ */
+std::vector<VliwInst> decodeProgram(const std::vector<uint8_t> &image);
+
+} // namespace tm3270
+
+#endif // TM3270_ENCODE_DECODER_HH

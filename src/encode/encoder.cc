@@ -1,0 +1,236 @@
+#include "encode/encoder.hh"
+
+#include <algorithm>
+
+#include "support/bitops.hh"
+#include "support/bitstream.hh"
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+namespace
+{
+
+/** The main-slot view of a (possibly two-slot) operation. */
+Operation
+mainView(const Operation &op)
+{
+    Operation m = op;
+    m.dst[1] = 0;
+    m.src[2] = m.src[3] = 0;
+    return m;
+}
+
+/** The companion SUPER_ARGS operation for a two-slot operation. */
+Operation
+companionView(const Operation &op)
+{
+    Operation c;
+    c.opc = Opcode::SUPER_ARGS;
+    c.guard = regOne;
+    c.dst[0] = op.dst[1];
+    c.src[0] = op.src[2];
+    c.src[1] = op.src[3];
+    return c;
+}
+
+/**
+ * Expand an instruction into its five encoded slot operations
+ * (materializing SUPER_ARGS companions).
+ */
+std::array<Operation, numSlots>
+slotOps(const VliwInst &inst)
+{
+    std::array<Operation, numSlots> ops;
+    for (unsigned s = 0; s < numSlots; ++s) {
+        const Operation &op = inst.slot[s];
+        if (!op.used())
+            continue;
+        if (op.info().isTwoSlot) {
+            tm_assert(s + 1 < numSlots, "two-slot op in slot 5");
+            tm_assert(!inst.slot[s + 1].used(),
+                      "two-slot companion slot occupied");
+            ops[s] = mainView(op);
+            ops[s + 1] = companionView(op);
+            ++s;
+        } else {
+            ops[s] = op;
+        }
+    }
+    return ops;
+}
+
+void
+encodeOp(BitWriter &w, const Operation &op, SlotFmt fmt)
+{
+    const OpInfo &oi = op.info();
+    switch (fmt) {
+      case SlotFmt::Fmt26:
+        w.put(static_cast<unsigned>(op.opc), 8);
+        w.put(op.dst[0], 6);
+        w.put(op.src[0], 6);
+        w.put(op.src[1], 6);
+        break;
+      case SlotFmt::Fmt34: {
+        int ci = compactIndex(op.opc);
+        tm_assert(ci >= 0, "op not compact-encodable");
+        w.put(static_cast<unsigned>(ci), 6);
+        w.put(op.guard, 7);
+        w.put(op.dst[0], 7);
+        w.put(op.src[0], 7);
+        w.put(op.src[1], 7);
+        break;
+      }
+      case SlotFmt::Fmt42:
+        w.put(static_cast<unsigned>(op.opc), 9);
+        w.put(op.guard, 7);
+        switch (oi.imm) {
+          case ImmKind::None:
+            w.put(op.dst[0], 7);
+            w.put(op.src[0], 7);
+            w.put(op.src[1], 7);
+            w.put(0, 5);
+            break;
+          case ImmKind::Simm12:
+          case ImmKind::Uimm12:
+            tm_assert(oi.imm == ImmKind::Uimm12
+                          ? fitsUnsigned(uint32_t(op.imm), 12)
+                          : fitsSigned(op.imm, 12),
+                      "immediate %d does not fit 12 bits", op.imm);
+            w.put(op.dst[0], 7);
+            w.put(op.src[0], 7);
+            w.put(uint32_t(op.imm) & 0xfff, 12);
+            break;
+          case ImmKind::Imm16:
+            tm_assert(fitsUnsigned(uint32_t(op.imm) & 0xffffffff, 32),
+                      "bad imm");
+            w.put(op.dst[0], 7);
+            w.put(uint32_t(op.imm) & 0xffff, 16);
+            w.put(0, 3);
+            break;
+        }
+        break;
+      default:
+        panic("encodeOp on unused slot");
+    }
+}
+
+uint16_t
+templateOf(const std::array<SlotFmt, numSlots> &fmts)
+{
+    uint16_t t = 0;
+    for (unsigned s = 0; s < numSlots; ++s)
+        t = static_cast<uint16_t>((t << 2) |
+                                  static_cast<unsigned>(fmts[s]));
+    return t;
+}
+
+} // namespace
+
+int
+EncodedProgram::indexAt(uint32_t offset) const
+{
+    auto it = std::lower_bound(offsets.begin(), offsets.end(), offset);
+    if (it == offsets.end() || *it != offset)
+        return -1;
+    return static_cast<int>(it - offsets.begin());
+}
+
+EncodedProgram
+encodeProgram(const std::vector<VliwInst> &insts,
+              const std::vector<bool> &jump_targets)
+{
+    const size_t n = insts.size();
+    tm_assert(jump_targets.size() == n, "jump target vector size mismatch");
+
+    EncodedProgram p;
+    p.insts = insts;
+    p.uncompressed.assign(n, false);
+    p.offsets.resize(n);
+
+    // Pass 1: formats and layout.
+    std::vector<std::array<Operation, numSlots>> ops(n);
+    std::vector<std::array<SlotFmt, numSlots>> fmts(n);
+    for (size_t i = 0; i < n; ++i) {
+        p.uncompressed[i] = (i == 0) || jump_targets[i];
+        ops[i] = slotOps(insts[i]);
+        for (unsigned s = 0; s < numSlots; ++s) {
+            fmts[i][s] = p.uncompressed[i] && !ops[i][s].used()
+                             ? SlotFmt::Fmt42
+                             : selectFormat(ops[i][s]);
+            if (p.uncompressed[i] && fmts[i][s] != SlotFmt::Unused)
+                fmts[i][s] = SlotFmt::Fmt42;
+        }
+    }
+
+    uint32_t offset = 0;
+    for (size_t i = 0; i < n; ++i) {
+        p.offsets[i] = offset;
+        bool has_template = (i + 1 < n) && !p.uncompressed[i + 1];
+        unsigned bits = 1 + (has_template ? 10 : 0);
+        if (p.uncompressed[i]) {
+            bits += numSlots * 42;
+        } else {
+            for (unsigned s = 0; s < numSlots; ++s)
+                bits += fmtBits(fmts[i][s]);
+        }
+        offset += (bits + 7) / 8;
+    }
+
+    // Patch branch targets: instruction index -> byte offset.
+    for (size_t i = 0; i < n; ++i) {
+        for (unsigned s = 0; s < numSlots; ++s) {
+            Operation &op = p.insts[i].slot[s];
+            if (op.used() && op.info().isBranch &&
+                op.info().imm == ImmKind::Imm16) {
+                tm_assert(op.imm >= 0 && size_t(op.imm) < n,
+                          "branch target index %d out of range", op.imm);
+                tm_assert(p.uncompressed[size_t(op.imm)],
+                          "branch target %d not marked as jump target",
+                          op.imm);
+                uint32_t target = p.offsets[size_t(op.imm)];
+                tm_assert(target <= 0xffff,
+                          "program too large for 16-bit branch targets");
+                op.imm = static_cast<int32_t>(target);
+            }
+        }
+        ops[i] = slotOps(p.insts[i]);
+    }
+
+    // Pass 2: emit bits.
+    BitWriter w;
+    for (size_t i = 0; i < n; ++i) {
+        tm_assert(w.size() == p.offsets[i], "layout/emit mismatch");
+        bool has_template = (i + 1 < n) && !p.uncompressed[i + 1];
+        w.put(has_template ? 0 : 1, 1);
+        if (has_template)
+            w.put(templateOf(fmts[i + 1]), 10);
+        for (unsigned s = 0; s < numSlots; ++s) {
+            if (fmts[i][s] != SlotFmt::Unused)
+                encodeOp(w, ops[i][s], fmts[i][s]);
+        }
+        w.alignByte();
+    }
+    p.bytes = w.data();
+    return p;
+}
+
+EncodedProgram
+encodeProgram(const std::vector<VliwInst> &insts)
+{
+    std::vector<bool> targets(insts.size(), false);
+    for (const auto &inst : insts) {
+        for (const auto &op : inst.slot) {
+            if (op.used() && op.info().isBranch &&
+                op.info().imm == ImmKind::Imm16) {
+                tm_assert(op.imm >= 0 && size_t(op.imm) < insts.size(),
+                          "branch target index %d out of range", op.imm);
+                targets[size_t(op.imm)] = true;
+            }
+        }
+    }
+    return encodeProgram(insts, targets);
+}
+
+} // namespace tm3270

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * VLIW program encoder: lays out and bit-packs a sequence of VLIW
+ * instructions into the compressed binary format of formats.hh.
+ */
+
+#ifndef TM3270_ENCODE_ENCODER_HH
+#define TM3270_ENCODE_ENCODER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "encode/formats.hh"
+#include "isa/operation.hh"
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/**
+ * An encoded program: the binary image plus layout metadata.
+ *
+ * Branch operations in the input carry the *instruction index* of
+ * their target in the immediate; encoding patches the immediate to the
+ * target's byte offset within the image. The patched instruction list
+ * is retained in @c insts.
+ */
+struct EncodedProgram
+{
+    /** Binary image; instruction 0 starts at byte 0. */
+    std::vector<uint8_t> bytes;
+    /** Byte offset of each instruction within the image. */
+    std::vector<uint32_t> offsets;
+    /** Instructions with branch immediates patched to byte offsets. */
+    std::vector<VliwInst> insts;
+    /** True for uncompressed (jump-target) instructions. */
+    std::vector<bool> uncompressed;
+
+    /** Encoded size in bytes of instruction @p i. */
+    uint32_t
+    sizeOf(unsigned i) const
+    {
+        return (i + 1 < offsets.size() ? offsets[i + 1]
+                                       : uint32_t(bytes.size())) -
+               offsets[i];
+    }
+
+    /** Instruction index whose encoding starts at byte @p offset. */
+    int indexAt(uint32_t offset) const;
+};
+
+/**
+ * Encode @p insts. @p jump_targets marks instructions that are branch
+ * targets (instruction 0 is always treated as one); these are encoded
+ * uncompressed.
+ */
+EncodedProgram encodeProgram(const std::vector<VliwInst> &insts,
+                             const std::vector<bool> &jump_targets);
+
+/** Convenience overload deriving the jump-target set from branches. */
+EncodedProgram encodeProgram(const std::vector<VliwInst> &insts);
+
+} // namespace tm3270
+
+#endif // TM3270_ENCODE_ENCODER_HH

@@ -1,0 +1,92 @@
+#include "encode/formats.hh"
+
+#include <array>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+namespace
+{
+
+/**
+ * The compact-opcode table: every register-register opcode (ImmKind
+ * None), in opcode order, capped at 64 entries. Both encoder and
+ * decoder derive the identical table from the OpInfo metadata.
+ */
+const std::vector<Opcode> &
+compactTable()
+{
+    static const std::vector<Opcode> table = [] {
+        std::vector<Opcode> t;
+        for (unsigned i = 1; i < numOpcodes; ++i) {
+            auto op = static_cast<Opcode>(i);
+            if (opInfo(op).imm == ImmKind::None && t.size() < 64)
+                t.push_back(op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+const std::array<int, numOpcodes> &
+compactIndexTable()
+{
+    static const std::array<int, numOpcodes> table = [] {
+        std::array<int, numOpcodes> t;
+        t.fill(-1);
+        const auto &ct = compactTable();
+        for (unsigned i = 0; i < ct.size(); ++i)
+            t[static_cast<unsigned>(ct[i])] = static_cast<int>(i);
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+unsigned
+numCompactOpcodes()
+{
+    return static_cast<unsigned>(compactTable().size());
+}
+
+int
+compactIndex(Opcode op)
+{
+    return compactIndexTable()[static_cast<unsigned>(op)];
+}
+
+Opcode
+compactOpcode(unsigned idx)
+{
+    tm_assert(idx < compactTable().size(), "bad compact opcode index");
+    return compactTable()[idx];
+}
+
+SlotFmt
+selectFormat(const Operation &op)
+{
+    if (!op.used())
+        return SlotFmt::Unused;
+
+    const OpInfo &oi = op.info();
+
+    if (oi.imm == ImmKind::None) {
+        // 26-bit: implied r1 guard and registers below r64.
+        bool small_regs = op.dst[0] < 64 && op.src[0] < 64 && op.src[1] < 64;
+        if (op.guard == regOne && small_regs &&
+            static_cast<unsigned>(op.opc) < 256) {
+            return SlotFmt::Fmt26;
+        }
+        if (compactIndex(op.opc) >= 0)
+            return SlotFmt::Fmt34;
+        return SlotFmt::Fmt42;
+    }
+    // All immediate-carrying operations use the 42-bit format.
+    return SlotFmt::Fmt42;
+}
+
+} // namespace tm3270

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Binary operation formats and the VLIW compression template scheme
+ * (paper §2.1, Fig. 1).
+ *
+ * A VLIW instruction is encoded as:
+ *
+ *   [nextUncompressed:1] [template:10]? [op encodings...] [pad to byte]
+ *
+ * The 10-bit template holds five 2-bit compression sub-fields for issue
+ * slots 1..5 of the *next* instruction (paper: "an instruction's
+ * compression template is available one cycle before the instruction's
+ * compressed encoding"). A sub-field selects the operation size:
+ *
+ *   00 -> 26-bit format   01 -> 34-bit format
+ *   10 -> 42-bit format   11 -> issue slot unused
+ *
+ * Jump-target instructions are not compressed: all five slots use the
+ * 42-bit format (unused slots hold 42-bit NOPs) and the *preceding*
+ * instruction omits the template field, signalled by its leading
+ * nextUncompressed bit. The paper's published size constraints hold:
+ * an empty instruction costs 1 + 10 = 11 bits -> 2 bytes, a maximal
+ * one 1 + 10 + 5*42 = 221 bits -> 28 bytes.
+ *
+ * Operation formats (the exact TriMedia field layout is proprietary;
+ * this layout is our documented substitution and satisfies every
+ * published constraint):
+ *
+ *   26-bit: [opc:8][dst:6][s1:6][s2:6]
+ *           guard is implied r1; registers must be < r64; no
+ *           immediate; opcode value < 256.
+ *   34-bit: [copc:6][guard:7][dst:7][s1:7][s2:7]
+ *           copc indexes the compact-opcode table (the at most 64
+ *           register-register opcodes); full guards and registers.
+ *   42-bit: [opc:9][guard:7] then, keyed on the opcode's ImmKind:
+ *           None:   [dst:7][s1:7][s2:7][pad:5]
+ *           S/Uimm: [dst:7][s1:7][imm:12]
+ *           Imm16:  [dst:7][imm:16][pad:3]
+ *
+ * Two-slot operations (paper §2.2.1) encode their first slot with the
+ * main opcode carrying (dst1, s1, s2) and place a SUPER_ARGS companion
+ * in the next slot carrying (dst2, s3, s4).
+ */
+
+#ifndef TM3270_ENCODE_FORMATS_HH
+#define TM3270_ENCODE_FORMATS_HH
+
+#include <cstdint>
+
+#include "isa/operation.hh"
+
+namespace tm3270
+{
+
+/** Per-slot compression template values. */
+enum class SlotFmt : uint8_t
+{
+    Fmt26 = 0,
+    Fmt34 = 1,
+    Fmt42 = 2,
+    Unused = 3,
+};
+
+/** Bit width of an operation encoding in format @p f. */
+constexpr unsigned
+fmtBits(SlotFmt f)
+{
+    switch (f) {
+      case SlotFmt::Fmt26: return 26;
+      case SlotFmt::Fmt34: return 34;
+      case SlotFmt::Fmt42: return 42;
+      default: return 0;
+    }
+}
+
+/** Number of opcodes eligible for the compact (34-bit) format. */
+unsigned numCompactOpcodes();
+
+/** Compact index for @p op, or -1 when the opcode is not compact. */
+int compactIndex(Opcode op);
+
+/** Opcode for compact index @p idx. */
+Opcode compactOpcode(unsigned idx);
+
+/** The smallest format that can represent @p op (Unused for NOP). */
+SlotFmt selectFormat(const Operation &op);
+
+} // namespace tm3270
+
+#endif // TM3270_ENCODE_FORMATS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * H.264/AVC CABAC probability model tables (spec Tables 9-44/9-45).
+ *
+ * These tables parameterize both the SUPER_CABAC_* operation semantics
+ * (paper Fig. 2) and the golden-model arithmetic coder in src/cabac.
+ * They live in the ISA library because the TM3270 hardware bakes them
+ * into the CABAC functional unit.
+ */
+
+#ifndef TM3270_ISA_CABAC_TABLES_HH
+#define TM3270_ISA_CABAC_TABLES_HH
+
+#include <cstdint>
+
+namespace tm3270
+{
+
+/** Range table for the least probable symbol: [state][(range>>6)&3]. */
+extern const uint8_t lpsRangeTable[64][4];
+
+/** Next state after coding the most probable symbol. */
+extern const uint8_t mpsNextStateTable[64];
+
+/** Next state after coding the least probable symbol. */
+extern const uint8_t lpsNextStateTable[64];
+
+/**
+ * Decoded CABAC step outcome, shared between the ISA semantics and the
+ * golden model.
+ */
+struct CabacStep
+{
+    uint32_t value;     ///< new coding value (10 bits)
+    uint32_t range;     ///< new coding range (9 bits)
+    uint32_t state;     ///< new context state (6 bits)
+    uint32_t mps;       ///< new context MPS (1 bit)
+    uint32_t bitPos;    ///< new bit position in stream_data
+    uint32_t bit;       ///< decoded binary value
+};
+
+/**
+ * The biari_decode_symbol function of paper Fig. 2, bit-exact.
+ *
+ * @param value       coding value (10-bit)
+ * @param range       coding range (9-bit)
+ * @param state       context state (6-bit)
+ * @param mps         context MPS (1-bit)
+ * @param stream_data 32 bits of bitstream data (big-endian packed)
+ * @param bit_pos     current bit position within stream_data
+ *
+ * Note: the paper's figure prints the MPS update on the LPS path as
+ * "mps = mps ^ (state != 0)"; the H.264 standard (and the reference
+ * decoder the figure was taken from) flips MPS only when state == 0.
+ * We implement the standard behaviour.
+ */
+CabacStep biariDecodeSymbol(uint32_t value, uint32_t range,
+                            uint32_t state, uint32_t mps,
+                            uint32_t stream_data, uint32_t bit_pos);
+
+} // namespace tm3270
+
+#endif // TM3270_ISA_CABAC_TABLES_HH

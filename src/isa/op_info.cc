@@ -1,0 +1,285 @@
+#include "isa/op_info.hh"
+
+#include <array>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+namespace
+{
+
+constexpr uint8_t s15 = allSlots;               // slots 1..5
+constexpr uint8_t s14 = slotBit(1) | slotBit(4);
+constexpr uint8_t s23 = slotBit(2) | slotBit(3);
+constexpr uint8_t s123 = slotBit(1) | slotBit(2) | slotBit(3);
+constexpr uint8_t s234 = slotBit(2) | slotBit(3) | slotBit(4);
+constexpr uint8_t s45 = slotBit(4) | slotBit(5);
+constexpr uint8_t s5 = slotBit(5);
+constexpr uint8_t s2 = slotBit(2);
+constexpr uint8_t s3 = slotBit(3);
+constexpr uint8_t s4 = slotBit(4);
+
+struct Entry
+{
+    Opcode op;
+    OpInfo info;
+};
+
+/// Shorthand constructors keep the table readable.
+constexpr OpInfo
+alu(std::string_view m, uint8_t nsrc = 2)
+{
+    return {m, FuClass::Alu, s15, 1, nsrc, 1, ImmKind::None,
+            false, false, false, false};
+}
+
+constexpr OpInfo
+aluImm(std::string_view m, ImmKind k)
+{
+    return {m, FuClass::Alu, s15, 1, 1, 1, k,
+            false, false, false, false};
+}
+
+constexpr OpInfo
+shift(std::string_view m)
+{
+    return {m, FuClass::Shifter, s14, 1, 2, 1, ImmKind::None,
+            false, false, false, false};
+}
+
+constexpr OpInfo
+shiftImm(std::string_view m)
+{
+    return {m, FuClass::Shifter, s14, 1, 1, 1, ImmKind::Uimm12,
+            false, false, false, false};
+}
+
+constexpr OpInfo
+dspalu(std::string_view m, uint8_t lat = 2)
+{
+    return {m, FuClass::DspAlu, s123, lat, 2, 1, ImmKind::None,
+            false, false, false, false};
+}
+
+constexpr OpInfo
+dspmul(std::string_view m, uint8_t lat = 3)
+{
+    return {m, FuClass::DspMul, s23, lat, 2, 1, ImmKind::None,
+            false, false, false, false};
+}
+
+constexpr OpInfo
+falu(std::string_view m, uint8_t lat = 3)
+{
+    return {m, FuClass::FAlu, s14, lat, 2, 1, ImmKind::None,
+            false, false, false, false};
+}
+
+constexpr OpInfo
+loadD(std::string_view m, uint8_t lat = 4)
+{
+    return {m, FuClass::Load, s5, lat, 1, 1, ImmKind::Simm12,
+            true, false, false, false};
+}
+
+constexpr OpInfo
+storeD(std::string_view m)
+{
+    // Stores carry the value register in the dst field (numDst = 0:
+    // no register result is produced).
+    return {m, FuClass::Store, s45, 1, 1, 0, ImmKind::Simm12,
+            false, true, false, false};
+}
+
+const std::array<Entry, numOpcodes> opTable = {{
+    {Opcode::NOP, {"nop", FuClass::None, s15, 1, 0, 0, ImmKind::None,
+                   false, false, false, false}},
+
+    {Opcode::IADD, alu("iadd")},
+    {Opcode::ISUB, alu("isub")},
+    {Opcode::IAND, alu("iand")},
+    {Opcode::IOR, alu("ior")},
+    {Opcode::IXOR, alu("ixor")},
+    {Opcode::IEQL, alu("ieql")},
+    {Opcode::INEQ, alu("ineq")},
+    {Opcode::IGTR, alu("igtr")},
+    {Opcode::IGEQ, alu("igeq")},
+    {Opcode::ILES, alu("iles")},
+    {Opcode::ILEQ, alu("ileq")},
+    {Opcode::IGTRU, alu("igtru")},
+    {Opcode::ILESU, alu("ilesu")},
+    {Opcode::IMIN, alu("imin")},
+    {Opcode::IMAX, alu("imax")},
+    {Opcode::SEX8, alu("sex8", 1)},
+    {Opcode::ZEX8, alu("zex8", 1)},
+    {Opcode::SEX16, alu("sex16", 1)},
+    {Opcode::ZEX16, alu("zex16", 1)},
+    {Opcode::BITAND0, alu("bitand0")},
+
+    {Opcode::ASL, shift("asl")},
+    {Opcode::ASR, shift("asr")},
+    {Opcode::LSR, shift("lsr")},
+    {Opcode::ROL, shift("rol")},
+
+    {Opcode::IADDI, aluImm("iaddi", ImmKind::Simm12)},
+    {Opcode::IANDI, aluImm("iandi", ImmKind::Uimm12)},
+    {Opcode::IORI, aluImm("iori", ImmKind::Uimm12)},
+    {Opcode::ASLI, shiftImm("asli")},
+    {Opcode::ASRI, shiftImm("asri")},
+    {Opcode::LSRI, shiftImm("lsri")},
+    {Opcode::IMM16, {"imm16", FuClass::Const, s15, 1, 0, 1,
+                     ImmKind::Imm16, false, false, false, false}},
+    {Opcode::IMMHI, {"immhi", FuClass::Const, s15, 1, 0, 1,
+                     ImmKind::Imm16, false, false, false, false}},
+    {Opcode::IEQLI, aluImm("ieqli", ImmKind::Simm12)},
+    {Opcode::IGTRI, aluImm("igtri", ImmKind::Simm12)},
+    {Opcode::ILESI, aluImm("ilesi", ImmKind::Simm12)},
+
+    {Opcode::IMUL, {"imul", FuClass::Mul, s23, 3, 2, 1, ImmKind::None,
+                    false, false, false, false}},
+    {Opcode::IMULM, {"imulm", FuClass::Mul, s23, 3, 2, 1, ImmKind::None,
+                     false, false, false, false}},
+    {Opcode::UMULM, {"umulm", FuClass::Mul, s23, 3, 2, 1, ImmKind::None,
+                     false, false, false, false}},
+
+    {Opcode::FADD, falu("fadd")},
+    {Opcode::FSUB, falu("fsub")},
+    {Opcode::FMUL, {"fmul", FuClass::FAlu, s14, 3, 2, 1, ImmKind::None,
+                    false, false, false, false}},
+    {Opcode::FDIV, {"fdiv", FuClass::FTough, s2, 17, 2, 1, ImmKind::None,
+                    false, false, false, false}},
+    {Opcode::FTOI, falu("ftoi")},
+    {Opcode::ITOF, falu("itof")},
+    {Opcode::FEQL, {"feql", FuClass::FComp, s3, 1, 2, 1, ImmKind::None,
+                    false, false, false, false}},
+    {Opcode::FGTR, {"fgtr", FuClass::FComp, s3, 1, 2, 1, ImmKind::None,
+                    false, false, false, false}},
+
+    {Opcode::QUADAVG, dspalu("quadavg")},
+    {Opcode::QUADADD, dspalu("quadadd")},
+    {Opcode::QUADSUB, dspalu("quadsub")},
+    {Opcode::QUADUMIN, dspalu("quadumin")},
+    {Opcode::QUADUMAX, dspalu("quadumax")},
+    {Opcode::UME8UU, dspalu("ume8uu")},
+    {Opcode::QUADUMULMSB, dspmul("quadumulmsb")},
+    {Opcode::DSPUQUADADDUI, dspalu("dspuquadaddui")},
+
+    {Opcode::MERGELSB, dspalu("mergelsb", 1)},
+    {Opcode::MERGEMSB, dspalu("mergemsb", 1)},
+    {Opcode::PACK16LSB, dspalu("pack16lsb", 1)},
+    {Opcode::PACK16MSB, dspalu("pack16msb", 1)},
+    {Opcode::PACKBYTES, dspalu("packbytes", 1)},
+    {Opcode::UBYTESEL, dspalu("ubytesel", 1)},
+    {Opcode::FUNSHIFT1, dspalu("funshift1", 1)},
+    {Opcode::FUNSHIFT2, dspalu("funshift2", 1)},
+    {Opcode::FUNSHIFT3, dspalu("funshift3", 1)},
+
+    {Opcode::DSPIDUALADD, dspalu("dspidualadd")},
+    {Opcode::DSPIDUALSUB, dspalu("dspidualsub")},
+    {Opcode::DSPIDUALMUL, dspmul("dspidualmul")},
+    {Opcode::DSPIDUALABS, dspalu("dspidualabs")},
+    {Opcode::IFIR16, dspmul("ifir16")},
+    {Opcode::IFIR8UI, dspmul("ifir8ui")},
+    {Opcode::ICLIPI, dspalu("iclipi")},
+    {Opcode::UCLIPI, dspalu("uclipi")},
+    {Opcode::IABS, dspalu("iabs")},
+    {Opcode::DSPIDUALPACK, dspalu("dspidualpack")},
+
+    {Opcode::LD8S, loadD("ld8s")},
+    {Opcode::LD8U, loadD("ld8u")},
+    {Opcode::LD16S, loadD("ld16s")},
+    {Opcode::LD16U, loadD("ld16u")},
+    {Opcode::LD32D, loadD("ld32d")},
+    {Opcode::LD32R, {"ld32r", FuClass::Load, s5, 4, 2, 1, ImmKind::None,
+                     true, false, false, false}},
+    {Opcode::LD32X, {"ld32x", FuClass::Load, s5, 4, 2, 1, ImmKind::None,
+                     true, false, false, false}},
+
+    {Opcode::ST8D, storeD("st8d")},
+    {Opcode::ST16D, storeD("st16d")},
+    {Opcode::ST32D, storeD("st32d")},
+    {Opcode::ST32R, {"st32r", FuClass::Store, s45, 1, 2, 0, ImmKind::None,
+                     false, true, false, false}},
+
+    {Opcode::PREF, {"pref", FuClass::Store, s45, 1, 1, 0, ImmKind::Simm12,
+                    false, false, false, false}},
+
+    {Opcode::JMPT, {"jmpt", FuClass::Branch, s234, 1, 0, 0, ImmKind::Imm16,
+                    false, false, true, false}},
+    {Opcode::JMPF, {"jmpf", FuClass::Branch, s234, 1, 0, 0, ImmKind::Imm16,
+                    false, false, true, false}},
+    {Opcode::JMPI, {"jmpi", FuClass::Branch, s234, 1, 0, 0, ImmKind::Imm16,
+                    false, false, true, false}},
+    {Opcode::JMPR, {"jmpr", FuClass::Branch, s234, 1, 1, 0, ImmKind::None,
+                    false, false, true, false}},
+    {Opcode::HALT, {"halt", FuClass::Branch, s234, 1, 1, 0, ImmKind::None,
+                    false, false, true, false}},
+
+    // Two-slot operations. slotMask identifies the *first* slot of the
+    // pair; the companion SUPER_ARGS sits in the next slot.
+    {Opcode::SUPER_DUALIMIX,
+     {"super_dualimix", FuClass::SuperMix, s2, 4, 4, 2, ImmKind::None,
+      false, false, false, true}},
+    {Opcode::SUPER_LD32R,
+     {"super_ld32r", FuClass::SuperLd, s4, 4, 2, 2, ImmKind::None,
+      true, false, false, true, 0b1100}},
+    {Opcode::LD_FRAC8,
+     {"ld_frac8", FuClass::FracLoad, s5, 6, 2, 1, ImmKind::None,
+      true, false, false, false}},
+    {Opcode::SUPER_CABAC_CTX,
+     {"super_cabac_ctx", FuClass::Cabac, s2, 4, 4, 2, ImmKind::None,
+      false, false, false, true}},
+    {Opcode::SUPER_CABAC_STR,
+     {"super_cabac_str", FuClass::Cabac, s2, 4, 3, 2, ImmKind::None,
+      false, false, false, true}},
+
+    {Opcode::SUPER_ARGS,
+     {"super_args", FuClass::None, s15, 1, 2, 1, ImmKind::None,
+      false, false, false, false}},
+}};
+
+struct TableCheck
+{
+    TableCheck()
+    {
+        for (unsigned i = 0; i < numOpcodes; ++i) {
+            tm_assert(static_cast<unsigned>(opTable[i].op) == i,
+                      "op table entry %u out of order", i);
+        }
+    }
+};
+
+const TableCheck tableCheck;
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    tm_assert(static_cast<unsigned>(op) < numOpcodes, "bad opcode");
+    return opTable[static_cast<unsigned>(op)].info;
+}
+
+std::string_view
+opName(Opcode op)
+{
+    return opInfo(op).mnemonic;
+}
+
+Opcode
+opFromName(std::string_view name)
+{
+    static const std::map<std::string_view, Opcode> byName = [] {
+        std::map<std::string_view, Opcode> m;
+        for (const auto &e : opTable)
+            m.emplace(e.info.mnemonic, e.op);
+        return m;
+    }();
+    auto it = byName.find(name);
+    return it == byName.end() ? Opcode::NUM_OPCODES : it->second;
+}
+
+} // namespace tm3270

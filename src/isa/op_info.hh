@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Static metadata for every operation: functional-unit class, issue
+ * slot mask, latency, operand counts, immediate kind and assorted
+ * classification flags. The table drives the encoder/decoder, the TIR
+ * scheduler and the core's issue logic.
+ */
+
+#ifndef TM3270_ISA_OP_INFO_HH
+#define TM3270_ISA_OP_INFO_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "isa/opcodes.hh"
+
+namespace tm3270
+{
+
+/**
+ * Functional unit classes. The TM3270 has 31 functional units spread
+ * over the five issue slots; the paper does not publish the full
+ * unit/slot matrix, so we document our (TriMedia-family) layout here:
+ *
+ *   5x CONST   (slots 1-5)    5x ALU    (slots 1-5)
+ *   2x SHIFTER (slots 1,4)    2x MUL    (slots 2,3)
+ *   3x DSPALU  (slots 1,2,3)  2x DSPMUL (slots 2,3)
+ *   3x BRANCH  (slots 2,3,4)  2x FALU   (slots 1,4)
+ *   1x FCOMP   (slot 3)       1x FTOUGH (slot 2, fdiv)
+ *   2x ST-TAG  (slots 4,5)    1x LOAD   (slot 5)
+ *   1x FRACLOAD(slot 5)       1x CABAC  (slots 2+3, two-slot)
+ *   1x DUALIMIX(slots 2+3)
+ *
+ * Total: 31 units, matching Table 1 of the paper.
+ */
+enum class FuClass : uint8_t
+{
+    None,       ///< NOP / SUPER_ARGS
+    Const,      ///< immediate generation
+    Alu,
+    Shifter,
+    Mul,
+    DspAlu,
+    DspMul,
+    FAlu,
+    FComp,
+    FTough,     ///< iterative fdiv
+    Branch,
+    Load,       ///< data cache load port
+    Store,      ///< store (tag access only)
+    FracLoad,   ///< collapsed load with interpolation
+    SuperLd,    ///< two-slot load
+    SuperMix,   ///< two-slot dual filter
+    Cabac,      ///< two-slot CABAC unit
+};
+
+/** Immediate operand kind, also selects the 42-bit encoding shape. */
+enum class ImmKind : uint8_t
+{
+    None,     ///< register-register operation
+    Simm12,   ///< 12-bit signed (displacements, addi)
+    Uimm12,   ///< 12-bit unsigned (logical immediates, shift counts)
+    Imm16,    ///< 16-bit immediate, no s1 field (imm16/immhi/jumps)
+};
+
+/** Per-opcode static properties. */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    FuClass fu = FuClass::None;
+    /** Issue slot bitmask; bit (s-1) set means issue slot s allowed. */
+    uint8_t slotMask = 0;
+    /** Result latency in cycles (cycles until a dependent op may read). */
+    uint8_t latency = 1;
+    uint8_t numSrc = 0;
+    uint8_t numDst = 0;
+    ImmKind imm = ImmKind::None;
+    bool isLoad = false;
+    bool isStore = false;
+    bool isBranch = false;
+    /** Occupies two neighboring issue slots (paper §2.2.1). */
+    bool isTwoSlot = false;
+    /**
+     * Bitmask of used src[] positions; 0 means the default mask
+     * (1 << numSrc) - 1. SUPER_LD32R keeps its sources in positions
+     * 2 and 3: they are encoded in the second operation of the pair
+     * (paper Table 2).
+     */
+    uint8_t srcMask = 0;
+
+    /** Effective source-position mask. */
+    uint8_t
+    srcPositions() const
+    {
+        return srcMask ? srcMask : uint8_t((1u << numSrc) - 1);
+    }
+
+    /** Does this operation read src position @p i? */
+    bool readsSrc(unsigned i) const { return srcPositions() & (1u << i); }
+};
+
+/** Metadata for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic for @p op. */
+std::string_view opName(Opcode op);
+
+/** Parse a mnemonic; returns NUM_OPCODES when unknown. */
+Opcode opFromName(std::string_view name);
+
+/** Slot bitmask helpers. */
+inline constexpr uint8_t
+slotBit(unsigned slot)
+{
+    return static_cast<uint8_t>(1u << (slot - 1));
+}
+
+/** All five issue slots. */
+inline constexpr uint8_t allSlots = 0x1f;
+
+} // namespace tm3270
+
+#endif // TM3270_ISA_OP_INFO_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * TM3270 operation set.
+ *
+ * The operation repertoire models the TriMedia family ISA as described
+ * in the TM3270 paper (MICRO-38, 2005): guarded RISC-like operations,
+ * SIMD operations at 1x32/2x16/4x8 granularity, IEEE-754 floating
+ * point, plus the paper's new operations: two-slot super-operations
+ * (SUPER_DUALIMIX, SUPER_LD32R), collapsed loads with interpolation
+ * (LD_FRAC8) and the CABAC operations (SUPER_CABAC_CTX,
+ * SUPER_CABAC_STR).
+ */
+
+#ifndef TM3270_ISA_OPCODES_HH
+#define TM3270_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace tm3270
+{
+
+/**
+ * Operation codes. The enumerators are also the architectural opcode
+ * values used by the binary instruction encoding, so their numeric
+ * values are stable ABI: new opcodes must be appended.
+ */
+enum class Opcode : uint16_t
+{
+    NOP = 0,
+
+    // Integer ALU (1 cycle, any slot).
+    IADD,
+    ISUB,
+    IAND,
+    IOR,
+    IXOR,
+    IEQL,
+    INEQ,
+    IGTR,
+    IGEQ,
+    ILES,
+    ILEQ,
+    IGTRU,      ///< unsigned greater-than
+    ILESU,      ///< unsigned less-than
+    IMIN,
+    IMAX,
+    SEX8,       ///< sign-extend byte
+    ZEX8,       ///< zero-extend byte
+    SEX16,
+    ZEX16,
+    BITAND0,    ///< dst = s1 & ~s2 (andn)
+
+    // Shifts (issue slots 1 and 4).
+    ASL,        ///< arithmetic/logical shift left
+    ASR,        ///< arithmetic shift right
+    LSR,        ///< logical shift right
+    ROL,        ///< rotate left
+
+    // Immediate forms.
+    IADDI,      ///< dst = s1 + simm12
+    IANDI,      ///< dst = s1 & uimm12
+    IORI,       ///< dst = s1 | uimm12
+    ASLI,       ///< dst = s1 << uimm (uimm12, low 5 bits used)
+    ASRI,
+    LSRI,
+    IMM16,      ///< dst = sign-extended imm16
+    IMMHI,      ///< dst = imm16 << 16
+    IEQLI,      ///< dst = (s1 == simm12)
+    IGTRI,      ///< dst = (s1 > simm12)
+    ILESI,      ///< dst = (s1 < simm12)
+
+    // Multiply (issue slots 2 and 3, 3 cycles).
+    IMUL,       ///< low 32 bits of product
+    IMULM,      ///< high 32 bits of signed 64-bit product
+    UMULM,      ///< high 32 bits of unsigned 64-bit product
+
+    // IEEE-754 single precision floating point.
+    FADD,
+    FSUB,
+    FMUL,
+    FDIV,
+    FTOI,       ///< float -> int32 (round to nearest)
+    ITOF,       ///< int32 -> float
+    FEQL,
+    FGTR,
+
+    // SIMD: 4 x 8-bit.
+    QUADAVG,    ///< per-byte average with rounding up
+    QUADADD,    ///< per-byte wraparound add
+    QUADSUB,    ///< per-byte wraparound subtract
+    QUADUMIN,   ///< per-byte unsigned min
+    QUADUMAX,   ///< per-byte unsigned max
+    UME8UU,     ///< sum of absolute byte differences (motion estimation)
+    QUADUMULMSB,///< per-byte unsigned multiply, MSBs
+    DSPUQUADADDUI, ///< per-byte saturated add: u8 + s8 -> clip to u8
+
+    // Byte shuffling / packing.
+    MERGELSB,   ///< interleave low bytes pairwise
+    MERGEMSB,   ///< interleave high bytes pairwise
+    PACK16LSB,  ///< (s1.lo16 << 16) | s2.lo16
+    PACK16MSB,  ///< (s1.hi16 << 16) | s2.hi16
+    PACKBYTES,  ///< (s1.lo8 << 8) | s2.lo8, in low half
+    UBYTESEL,   ///< select byte s2[1:0] of s1, zero-extend
+    FUNSHIFT1,  ///< funnel shift: ((s1:s2) >> 8) low word
+    FUNSHIFT2,  ///< funnel shift by 2 bytes
+    FUNSHIFT3,  ///< funnel shift by 3 bytes
+
+    // SIMD: 2 x 16-bit DSP.
+    DSPIDUALADD,  ///< dual 16-bit saturated add
+    DSPIDUALSUB,  ///< dual 16-bit saturated subtract
+    DSPIDUALMUL,  ///< dual 16-bit multiply, clipped to 16-bit
+    DSPIDUALABS,  ///< dual 16-bit saturated absolute value
+    IFIR16,       ///< signed 2x16 dot product -> 32-bit
+    IFIR8UI,      ///< dot product: unsigned bytes x signed bytes
+    ICLIPI,       ///< clip s1 to [-(s2+1), s2]
+    UCLIPI,       ///< clip s1 to [0, s2]
+    IABS,         ///< saturated 32-bit absolute value
+    DSPIDUALPACK, ///< pack s1, s2 to dual-16 with signed saturation
+
+    // Memory: loads (slot 5 on TM3270; slots 4 and 5 on TM3260).
+    LD8S,       ///< load signed byte, [s1 + simm12]
+    LD8U,
+    LD16S,
+    LD16U,
+    LD32D,      ///< load word, [s1 + simm12]
+    LD32R,      ///< load word, [s1 + s2]
+    LD32X,      ///< load word, [s1 + 4*s2]
+
+    // Memory: stores (slots 4 and 5). dst field holds the value reg.
+    ST8D,
+    ST16D,
+    ST32D,      ///< store word, [s1 + simm12] = value
+    ST32R,      ///< store word, [s1 + s2] (value in companion field)
+
+    // Software prefetch hint: touch line [s1 + simm12].
+    PREF,
+
+    // Control flow (issue slots 2, 3 and 4).
+    JMPT,       ///< jump to imm16 when guard LSB is 1
+    JMPF,       ///< jump to imm16 when guard LSB is 0
+    JMPI,       ///< unconditional jump to imm16
+    JMPR,       ///< jump to address in s1 when guard LSB is 1
+    HALT,       ///< stop simulation; s1 = exit value
+
+    // Paper §2.2.1: two-slot super-operations (slots 2+3 or 4+5).
+    SUPER_DUALIMIX,  ///< pairwise 2-tap filter on 16-bit values
+    SUPER_LD32R,     ///< load two consecutive 32-bit words
+
+    // Paper §2.2.2: collapsed load with interpolation (slot 5).
+    LD_FRAC8,        ///< load 5 bytes, 2-tap fractional interpolation
+
+    // Paper §2.2.3: CABAC operations (slots 2+3).
+    SUPER_CABAC_CTX, ///< new (value, range) and (state, mps)
+    SUPER_CABAC_STR, ///< new stream_bit_position and decoded bit
+
+    // Companion pseudo-operation occupying the second slot of a
+    // two-slot operation; carries operands s3/s4 and dst2.
+    SUPER_ARGS,
+
+    NUM_OPCODES
+};
+
+/** Number of defined opcodes. */
+inline constexpr unsigned numOpcodes =
+    static_cast<unsigned>(Opcode::NUM_OPCODES);
+
+} // namespace tm3270
+
+#endif // TM3270_ISA_OPCODES_HH

@@ -1,0 +1,49 @@
+#include "isa/operation.hh"
+
+#include <sstream>
+
+namespace tm3270
+{
+
+std::string
+formatOperation(const Operation &op)
+{
+    const OpInfo &oi = op.info();
+    std::ostringstream os;
+    if (op.guard != regOne)
+        os << "if r" << unsigned(op.guard) << ' ';
+    os << oi.mnemonic;
+    for (unsigned i = 0; i < 4; ++i) {
+        if (oi.readsSrc(i))
+            os << " r" << unsigned(op.src[i]);
+    }
+    if (oi.imm != ImmKind::None)
+        os << " #" << op.imm;
+    if (oi.numDst > 0 || oi.isStore) {
+        os << " ->";
+        unsigned ndst = oi.isStore ? 1 : oi.numDst;
+        for (unsigned i = 0; i < ndst; ++i)
+            os << " r" << unsigned(op.dst[i]);
+    }
+    return os.str();
+}
+
+std::string
+formatInst(const VliwInst &inst)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (unsigned s = 0; s < numSlots; ++s) {
+        if (!inst.slot[s].used())
+            continue;
+        if (!first)
+            os << ", ";
+        os << '[' << (s + 1) << "] " << formatOperation(inst.slot[s]);
+        first = false;
+    }
+    if (first)
+        os << "(empty)";
+    return os.str();
+}
+
+} // namespace tm3270

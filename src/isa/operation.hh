@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Decoded operation and VLIW instruction representations.
+ */
+
+#ifndef TM3270_ISA_OPERATION_HH
+#define TM3270_ISA_OPERATION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/op_info.hh"
+#include "isa/opcodes.hh"
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** Number of issue slots per VLIW instruction. */
+inline constexpr unsigned numSlots = 5;
+
+/**
+ * A single decoded (uncompressed) operation.
+ *
+ * All operations are guarded: the operation takes architectural effect
+ * only when the LSB of the guard register is 1. The default guard r1
+ * always reads 1 (TriMedia convention).
+ *
+ * Two-slot operations are represented by a single Operation carrying
+ * all four sources and both destinations; the encoder materializes the
+ * companion SUPER_ARGS encoding in the neighboring slot, and the
+ * decoder folds it back.
+ */
+struct Operation
+{
+    Opcode opc = Opcode::NOP;
+    RegIndex guard = regOne;
+    std::array<RegIndex, 2> dst = {0, 0};
+    std::array<RegIndex, 4> src = {0, 0, 0, 0};
+    int32_t imm = 0;
+
+    bool used() const { return opc != Opcode::NOP; }
+    const OpInfo &info() const { return opInfo(opc); }
+
+    bool
+    operator==(const Operation &o) const
+    {
+        if (opc != o.opc)
+            return false;
+        if (!used() && !o.used())
+            return true;
+        return guard == o.guard && dst == o.dst && src == o.src &&
+               imm == o.imm;
+    }
+};
+
+/**
+ * A VLIW instruction: up to five operations, one per issue slot.
+ * slot[i] is issue slot i+1. A two-slot operation lives in its first
+ * slot; its second slot must be left unused (the encoder emits the
+ * companion there).
+ */
+struct VliwInst
+{
+    std::array<Operation, numSlots> slot;
+
+    /** Number of used operation slots (two-slot ops count once). */
+    unsigned
+    numOps() const
+    {
+        unsigned n = 0;
+        for (const auto &op : slot)
+            n += op.used();
+        return n;
+    }
+
+    bool
+    operator==(const VliwInst &o) const
+    {
+        return slot == o.slot;
+    }
+};
+
+/** Render an operation as "(guard) mnem sX.. -> dX.." for diagnostics. */
+std::string formatOperation(const Operation &op);
+
+/** Render a VLIW instruction, one line. */
+std::string formatInst(const VliwInst &inst);
+
+} // namespace tm3270
+
+#endif // TM3270_ISA_OPERATION_HH

@@ -1,0 +1,347 @@
+#include "isa/semantics.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "isa/cabac_tables.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+#include "support/saturate.hh"
+
+namespace tm3270
+{
+
+namespace
+{
+
+/** Per-byte unpack helpers; index 0 is the least significant byte. */
+inline uint8_t
+byteOf(Word v, unsigned i)
+{
+    return static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline Word
+packBytes4(uint8_t b3, uint8_t b2, uint8_t b1, uint8_t b0)
+{
+    return (Word(b3) << 24) | (Word(b2) << 16) | (Word(b1) << 8) | b0;
+}
+
+/** Apply @p f per byte lane. */
+template <typename F>
+inline Word
+perByte(Word a, Word b, F f)
+{
+    Word r = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        r |= Word(static_cast<uint8_t>(f(byteOf(a, i), byteOf(b, i))))
+             << (8 * i);
+    return r;
+}
+
+/** Apply @p f per 16-bit lane (signed). */
+template <typename F>
+inline Word
+perHalf(Word a, Word b, F f)
+{
+    auto lo = static_cast<int16_t>(a & 0xffff);
+    auto hi = static_cast<int16_t>(a >> 16);
+    auto lob = static_cast<int16_t>(b & 0xffff);
+    auto hib = static_cast<int16_t>(b >> 16);
+    uint16_t rlo = static_cast<uint16_t>(f(lo, lob));
+    uint16_t rhi = static_cast<uint16_t>(f(hi, hib));
+    return (Word(rhi) << 16) | rlo;
+}
+
+inline float
+asFloat(Word w)
+{
+    return std::bit_cast<float>(w);
+}
+
+inline Word
+asWord(float f)
+{
+    return std::bit_cast<Word>(f);
+}
+
+} // namespace
+
+Word
+interpolateFrac8(const std::array<uint8_t, 5> &d, Word frac)
+{
+    Word f = frac & 0xf;
+    auto tap = [f](uint8_t a, uint8_t b) -> uint8_t {
+        return static_cast<uint8_t>((a * (16 - f) + b * f + 8) / 16);
+    };
+    // rdest[31:24] = interp(data0, data1) ... rdest[7:0] = (data3, data4)
+    return packBytes4(tap(d[0], d[1]), tap(d[1], d[2]), tap(d[2], d[3]),
+                      tap(d[3], d[4]));
+}
+
+Word
+packBigEndian(const uint8_t *b)
+{
+    return packBytes4(b[0], b[1], b[2], b[3]);
+}
+
+unsigned
+memAccessSize(Opcode opc)
+{
+    switch (opc) {
+      case Opcode::LD8S:
+      case Opcode::LD8U:
+      case Opcode::ST8D:
+        return 1;
+      case Opcode::LD16S:
+      case Opcode::LD16U:
+      case Opcode::ST16D:
+        return 2;
+      case Opcode::LD32D:
+      case Opcode::LD32R:
+      case Opcode::LD32X:
+      case Opcode::ST32D:
+      case Opcode::ST32R:
+        return 4;
+      case Opcode::LD_FRAC8:
+        return 5;
+      case Opcode::SUPER_LD32R:
+        return 8;
+      default:
+        panic("memAccessSize on non-memory opcode %s",
+              std::string(opName(opc)).c_str());
+    }
+}
+
+ExecResult
+execPure(const Operation &op, const std::array<Word, 4> &s)
+{
+    ExecResult r;
+    const Word a = s[0];
+    const Word b = s[1];
+    const auto sa = static_cast<SWord>(a);
+    const auto sb = static_cast<SWord>(b);
+    const auto imm = op.imm;
+
+    switch (op.opc) {
+      case Opcode::NOP:
+      case Opcode::SUPER_ARGS:
+        break;
+
+      case Opcode::IADD: r.dst[0] = a + b; break;
+      case Opcode::ISUB: r.dst[0] = a - b; break;
+      case Opcode::IAND: r.dst[0] = a & b; break;
+      case Opcode::IOR: r.dst[0] = a | b; break;
+      case Opcode::IXOR: r.dst[0] = a ^ b; break;
+      case Opcode::IEQL: r.dst[0] = (a == b); break;
+      case Opcode::INEQ: r.dst[0] = (a != b); break;
+      case Opcode::IGTR: r.dst[0] = (sa > sb); break;
+      case Opcode::IGEQ: r.dst[0] = (sa >= sb); break;
+      case Opcode::ILES: r.dst[0] = (sa < sb); break;
+      case Opcode::ILEQ: r.dst[0] = (sa <= sb); break;
+      case Opcode::IGTRU: r.dst[0] = (a > b); break;
+      case Opcode::ILESU: r.dst[0] = (a < b); break;
+      case Opcode::IMIN: r.dst[0] = Word(std::min(sa, sb)); break;
+      case Opcode::IMAX: r.dst[0] = Word(std::max(sa, sb)); break;
+      case Opcode::SEX8:
+        r.dst[0] = Word(SWord(static_cast<int8_t>(a)));
+        break;
+      case Opcode::ZEX8: r.dst[0] = a & 0xff; break;
+      case Opcode::SEX16:
+        r.dst[0] = Word(SWord(static_cast<int16_t>(a)));
+        break;
+      case Opcode::ZEX16: r.dst[0] = a & 0xffff; break;
+      case Opcode::BITAND0: r.dst[0] = a & ~b; break;
+
+      case Opcode::ASL: r.dst[0] = a << (b & 31); break;
+      case Opcode::ASR: r.dst[0] = Word(sa >> (b & 31)); break;
+      case Opcode::LSR: r.dst[0] = a >> (b & 31); break;
+      case Opcode::ROL:
+        r.dst[0] = std::rotl(a, static_cast<int>(b & 31));
+        break;
+
+      case Opcode::IADDI: r.dst[0] = a + Word(imm); break;
+      case Opcode::IANDI: r.dst[0] = a & Word(imm); break;
+      case Opcode::IORI: r.dst[0] = a | Word(imm); break;
+      case Opcode::ASLI: r.dst[0] = a << (imm & 31); break;
+      case Opcode::ASRI: r.dst[0] = Word(sa >> (imm & 31)); break;
+      case Opcode::LSRI: r.dst[0] = a >> (imm & 31); break;
+      case Opcode::IMM16: r.dst[0] = Word(SWord(int16_t(imm))); break;
+      case Opcode::IMMHI: r.dst[0] = Word(imm & 0xffff) << 16; break;
+      case Opcode::IEQLI: r.dst[0] = (sa == imm); break;
+      case Opcode::IGTRI: r.dst[0] = (sa > imm); break;
+      case Opcode::ILESI: r.dst[0] = (sa < imm); break;
+
+      case Opcode::IMUL: r.dst[0] = Word(sa * sb); break;
+      case Opcode::IMULM:
+        r.dst[0] = Word((int64_t(sa) * int64_t(sb)) >> 32);
+        break;
+      case Opcode::UMULM:
+        r.dst[0] = Word((uint64_t(a) * uint64_t(b)) >> 32);
+        break;
+
+      case Opcode::FADD: r.dst[0] = asWord(asFloat(a) + asFloat(b)); break;
+      case Opcode::FSUB: r.dst[0] = asWord(asFloat(a) - asFloat(b)); break;
+      case Opcode::FMUL: r.dst[0] = asWord(asFloat(a) * asFloat(b)); break;
+      case Opcode::FDIV: r.dst[0] = asWord(asFloat(a) / asFloat(b)); break;
+      case Opcode::FTOI:
+        r.dst[0] = Word(clipS32(std::llrint(double(asFloat(a)))));
+        break;
+      case Opcode::ITOF: r.dst[0] = asWord(float(sa)); break;
+      case Opcode::FEQL: r.dst[0] = (asFloat(a) == asFloat(b)); break;
+      case Opcode::FGTR: r.dst[0] = (asFloat(a) > asFloat(b)); break;
+
+      case Opcode::QUADAVG:
+        r.dst[0] = perByte(a, b, [](uint8_t x, uint8_t y) {
+            return (x + y + 1) >> 1;
+        });
+        break;
+      case Opcode::QUADADD:
+        r.dst[0] = perByte(a, b, [](uint8_t x, uint8_t y) {
+            return uint8_t(x + y);
+        });
+        break;
+      case Opcode::QUADSUB:
+        r.dst[0] = perByte(a, b, [](uint8_t x, uint8_t y) {
+            return uint8_t(x - y);
+        });
+        break;
+      case Opcode::QUADUMIN:
+        r.dst[0] = perByte(a, b, [](uint8_t x, uint8_t y) {
+            return std::min(x, y);
+        });
+        break;
+      case Opcode::QUADUMAX:
+        r.dst[0] = perByte(a, b, [](uint8_t x, uint8_t y) {
+            return std::max(x, y);
+        });
+        break;
+      case Opcode::UME8UU: {
+        Word sum = 0;
+        for (unsigned i = 0; i < 4; ++i) {
+            int d = int(byteOf(a, i)) - int(byteOf(b, i));
+            sum += Word(d < 0 ? -d : d);
+        }
+        r.dst[0] = sum;
+        break;
+      }
+      case Opcode::QUADUMULMSB:
+        r.dst[0] = perByte(a, b, [](uint8_t x, uint8_t y) {
+            return uint8_t((unsigned(x) * unsigned(y)) >> 8);
+        });
+        break;
+      case Opcode::DSPUQUADADDUI:
+        r.dst[0] = perByte(a, b, [](uint8_t x, uint8_t y) {
+            return clipU8(int64_t(x) + int8_t(y));
+        });
+        break;
+
+      case Opcode::MERGELSB:
+        r.dst[0] = packBytes4(byteOf(a, 1), byteOf(b, 1), byteOf(a, 0),
+                              byteOf(b, 0));
+        break;
+      case Opcode::MERGEMSB:
+        r.dst[0] = packBytes4(byteOf(a, 3), byteOf(b, 3), byteOf(a, 2),
+                              byteOf(b, 2));
+        break;
+      case Opcode::PACK16LSB:
+        r.dst[0] = (a << 16) | (b & 0xffff);
+        break;
+      case Opcode::PACK16MSB:
+        r.dst[0] = (a & 0xffff0000u) | (b >> 16);
+        break;
+      case Opcode::PACKBYTES:
+        r.dst[0] = ((a & 0xff) << 8) | (b & 0xff);
+        break;
+      case Opcode::UBYTESEL:
+        r.dst[0] = byteOf(a, b & 3);
+        break;
+      case Opcode::FUNSHIFT1: r.dst[0] = (a << 8) | (b >> 24); break;
+      case Opcode::FUNSHIFT2: r.dst[0] = (a << 16) | (b >> 16); break;
+      case Opcode::FUNSHIFT3: r.dst[0] = (a << 24) | (b >> 8); break;
+
+      case Opcode::DSPIDUALADD:
+        r.dst[0] = perHalf(a, b, [](int16_t x, int16_t y) {
+            return clipS16(int64_t(x) + y);
+        });
+        break;
+      case Opcode::DSPIDUALSUB:
+        r.dst[0] = perHalf(a, b, [](int16_t x, int16_t y) {
+            return clipS16(int64_t(x) - y);
+        });
+        break;
+      case Opcode::DSPIDUALMUL:
+        r.dst[0] = perHalf(a, b, [](int16_t x, int16_t y) {
+            return clipS16(int64_t(x) * y);
+        });
+        break;
+      case Opcode::DSPIDUALABS:
+        r.dst[0] = perHalf(a, b, [](int16_t x, int16_t) {
+            return clipS16(x < 0 ? -int64_t(x) : int64_t(x));
+        });
+        break;
+      case Opcode::IFIR16: {
+        auto ah = int16_t(a >> 16), al = int16_t(a & 0xffff);
+        auto bh = int16_t(b >> 16), bl = int16_t(b & 0xffff);
+        r.dst[0] = Word(SWord(ah * bh + al * bl));
+        break;
+      }
+      case Opcode::IFIR8UI: {
+        SWord sum = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            sum += SWord(byteOf(a, i)) * int8_t(byteOf(b, i));
+        r.dst[0] = Word(sum);
+        break;
+      }
+      case Opcode::ICLIPI:
+        r.dst[0] = Word(SWord(clipRange(sa, -(int64_t(sb) + 1), sb)));
+        break;
+      case Opcode::UCLIPI:
+        r.dst[0] = Word(SWord(clipRange(sa, 0, sb)));
+        break;
+      case Opcode::IABS:
+        r.dst[0] = Word(clipS32(sa < 0 ? -int64_t(sa) : int64_t(sa)));
+        break;
+      case Opcode::DSPIDUALPACK:
+        r.dst[0] = (Word(uint16_t(clipS16(sa))) << 16) |
+                   uint16_t(clipS16(sb));
+        break;
+
+      case Opcode::SUPER_DUALIMIX: {
+        // temp = s1.hi * s2.hi + s3.hi * s4.hi, clipped to 32-bit.
+        auto hi = [](Word v) { return int64_t(int16_t(v >> 16)); };
+        auto lo = [](Word v) { return int64_t(int16_t(v & 0xffff)); };
+        r.dst[0] = Word(clipS32(hi(s[0]) * hi(s[1]) + hi(s[2]) * hi(s[3])));
+        r.dst[1] = Word(clipS32(lo(s[0]) * lo(s[1]) + lo(s[2]) * lo(s[3])));
+        break;
+      }
+
+      case Opcode::SUPER_CABAC_CTX: {
+        // rsrc1=(value,range) rsrc2=bitpos rsrc3=stream rsrc4=(state,mps)
+        CabacStep st = biariDecodeSymbol(dual16Hi(s[0]), dual16Lo(s[0]),
+                                         dual16Hi(s[3]), dual16Lo(s[3]),
+                                         s[2], s[1]);
+        r.dst[0] = dual16(st.value, st.range);
+        r.dst[1] = dual16(st.state, st.mps);
+        break;
+      }
+      case Opcode::SUPER_CABAC_STR: {
+        // rsrc1=(value,range) rsrc2=bitpos rsrc4=(state,mps); the
+        // stream data is not needed to compute bit count and bit.
+        CabacStep st = biariDecodeSymbol(dual16Hi(s[0]), dual16Lo(s[0]),
+                                         dual16Hi(s[2]), dual16Lo(s[2]),
+                                         0, s[1]);
+        r.dst[0] = st.bitPos;
+        r.dst[1] = st.bit;
+        break;
+      }
+
+      default:
+        panic("execPure called on unsupported opcode %s",
+              std::string(opName(op.opc)).c_str());
+    }
+    return r;
+}
+
+} // namespace tm3270

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Functional semantics of all non-memory operations, plus the data
+ * transformations of the memory operations (interpolation filter of
+ * LD_FRAC8, big-endian packing of SUPER_LD32R).
+ *
+ * Timing is modeled elsewhere (core/lsu); these functions are pure.
+ */
+
+#ifndef TM3270_ISA_SEMANTICS_HH
+#define TM3270_ISA_SEMANTICS_HH
+
+#include <array>
+
+#include "isa/operation.hh"
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** Result of executing one non-memory operation. */
+struct ExecResult
+{
+    std::array<Word, 2> dst = {0, 0};
+};
+
+/**
+ * Execute a non-memory, non-branch operation.
+ *
+ * @param op operation (used for opcode and immediate)
+ * @param s  source operand values; s[i] corresponds to op.src[i].
+ *           For SUPER_CABAC_STR, s[2] is rsrc4 = (state, mps).
+ */
+ExecResult execPure(const Operation &op, const std::array<Word, 4> &s);
+
+/**
+ * LD_FRAC8 filter (paper Table 2): given the five consecutive bytes at
+ * the load address and the fractional position frac[3:0], produce the
+ * four interpolated bytes, packed with the byte at the lowest address
+ * in the most significant position.
+ */
+Word interpolateFrac8(const std::array<uint8_t, 5> &data, Word frac);
+
+/** Assemble a big-endian 32-bit word from 4 bytes (SUPER_LD32R). */
+Word packBigEndian(const uint8_t *bytes);
+
+/** Memory access size in bytes for a load/store opcode. */
+unsigned memAccessSize(Opcode opc);
+
+} // namespace tm3270
+
+#endif // TM3270_ISA_SEMANTICS_HH

@@ -1,0 +1,391 @@
+#include "lsu/lsu.hh"
+
+#include <algorithm>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+Lsu::Lsu(LsuConfig cfg_, CacheGeometry dgeom, Biu &biu_, MainMemory &mem_,
+         MmioDevice *mmio_)
+    : cfg(cfg_), dc(std::move(dgeom)), biu(biu_), mem(mem_), mmio(mmio_)
+{
+}
+
+bool
+Lsu::isMmio(Addr addr) const
+{
+    return mmio && mmio->handles(addr);
+}
+
+int
+Lsu::inflightIndex(Addr line_addr) const
+{
+    for (size_t i = 0; i < inflightPf.size(); ++i) {
+        if (inflightPf[i].lineAddr == line_addr)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+Lsu::writeVictim(const Victim &v)
+{
+    if (!v.valid || !v.dirty)
+        return;
+    // Copy-back: only the validated bytes reach memory (the SoC bus
+    // protocol carries byte-validity indicators, paper §4.1).
+    for (unsigned i = 0; i < v.vmask.size(); ++i) {
+        if (v.vmask[i])
+            mem.setByte(v.lineAddr + i, v.data[i]);
+    }
+}
+
+void
+Lsu::servicePrefetches(Cycles now)
+{
+    for (size_t i = 0; i < inflightPf.size();) {
+        if (inflightPf[i].done > now) {
+            ++i;
+            continue;
+        }
+        Addr la = inflightPf[i].lineAddr;
+        if (dc.probe(la) < 0) {
+            int way;
+            Victim v = dc.allocate(la, way);
+            dc.fillFromMemory(mem, la, way);
+            writeVictim(v);
+            if (v.valid && v.dirty)
+                biu.asyncWrite(v.lineAddr, dc.lineBytes(), now);
+            pfInstalled.insert(la);
+            stats.inc("prefetch_installed");
+        }
+        pfPending.erase(la);
+        inflightPf.erase(inflightPf.begin() + long(i));
+    }
+}
+
+void
+Lsu::tryIssuePrefetch(Cycles now)
+{
+    while (inflightPf.size() < cfg.maxInflightPrefetch && !pfQueue.empty()) {
+        Addr la = pfQueue.front();
+        if (dc.probe(la) >= 0) {
+            // Became resident in the meantime; drop.
+            pfQueue.pop_front();
+            pfPending.erase(la);
+            continue;
+        }
+        Cycles done = biu.prefetchRead(la, dc.lineBytes(), now);
+        if (done == 0)
+            break; // bus busy with demand traffic
+        pfQueue.pop_front();
+        inflightPf.push_back({la, done});
+        stats.inc("prefetch_issued");
+    }
+}
+
+void
+Lsu::enqueuePrefetch(Addr line_addr)
+{
+    if (dc.probe(line_addr) >= 0 || pfPending.count(line_addr) ||
+        pfQueue.size() >= cfg.prefetchQueueDepth) {
+        return;
+    }
+    pfQueue.push_back(line_addr);
+    pfPending.insert(line_addr);
+    stats.inc("prefetch_requests");
+}
+
+void
+Lsu::tick(Cycles now)
+{
+    servicePrefetches(now);
+    tryIssuePrefetch(now);
+}
+
+Cycles
+Lsu::cwbPush(Cycles now)
+{
+    // Drain completed entries.
+    while (!cwb.empty() && cwb.front() <= now)
+        cwb.pop_front();
+
+    Cycles stall = 0;
+    if (cwb.size() >= cfg.cwbDepth) {
+        // Wait for the oldest pending write to drain into the array.
+        stall = cwb.front() - now;
+        cwb.pop_front();
+        stats.inc("cwb_full_stalls");
+        stats.inc("cwb_full_stall_cycles", stall);
+    }
+    Cycles drain = std::max(now + stall, cwbLastDrain + 1);
+    cwbLastDrain = drain;
+    cwb.push_back(drain);
+    return stall;
+}
+
+Cycles
+Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
+                       Cycles now)
+{
+    servicePrefetches(now);
+
+    int way = dc.probe(line_addr);
+    if (way >= 0 && dc.bytesValid(line_addr, way, offset, len)) {
+        dc.touch(line_addr, way);
+        stats.inc("load_line_hits");
+        if (pfInstalled.erase(line_addr))
+            stats.inc("prefetch_useful");
+        return 0;
+    }
+
+    // In-flight prefetch to this line: wait for it, then install.
+    int ifl = inflightIndex(line_addr);
+    if (ifl >= 0) {
+        Cycles done = inflightPf[size_t(ifl)].done;
+        Cycles stall = done > now ? done - now : 0;
+        servicePrefetches(done);
+        stats.inc("load_prefetch_waits");
+        stats.inc("load_prefetch_wait_cycles", stall);
+        int w = dc.probe(line_addr);
+        tm_assert(w >= 0, "prefetched line not installed");
+        dc.touch(line_addr, w);
+        return stall;
+    }
+
+    stats.inc("load_line_misses");
+    Cycles done = biu.demandRead(line_addr, dc.lineBytes(), now);
+    if (way >= 0) {
+        // Allocated-but-partially-invalid line: refill merge.
+        stats.inc("load_validity_misses");
+        dc.fillFromMemory(mem, line_addr, way);
+        dc.touch(line_addr, way);
+    } else {
+        Victim v = dc.allocate(line_addr, way);
+        writeVictim(v);
+        dc.fillFromMemory(mem, line_addr, way);
+        if (v.valid && v.dirty)
+            biu.asyncWrite(v.lineAddr, dc.lineBytes(), done);
+    }
+    Cycles stall = done - now;
+    stats.inc("load_miss_stall_cycles", stall);
+    return stall;
+}
+
+Cycles
+Lsu::ensureLineForStore(Addr line_addr, Cycles now)
+{
+    servicePrefetches(now);
+
+    int way = dc.probe(line_addr);
+    if (way >= 0) {
+        dc.touch(line_addr, way);
+        stats.inc("store_line_hits");
+        return 0;
+    }
+
+    int ifl = inflightIndex(line_addr);
+    if (ifl >= 0) {
+        Cycles done = inflightPf[size_t(ifl)].done;
+        Cycles stall = done > now ? done - now : 0;
+        servicePrefetches(done);
+        int w = dc.probe(line_addr);
+        tm_assert(w >= 0, "prefetched line not installed");
+        dc.touch(line_addr, w);
+        return stall;
+    }
+
+    stats.inc("store_line_misses");
+    Cycles stall = 0;
+    Victim v = dc.allocate(line_addr, way);
+    writeVictim(v);
+    if (cfg.allocateOnWriteMiss) {
+        // Allocate-on-write-miss: no fetch; the line starts with all
+        // bytes invalid and the byte-validity mask tracks the stores.
+        if (v.valid && v.dirty)
+            biu.asyncWrite(v.lineAddr, dc.lineBytes(), now);
+        stats.inc("store_allocations");
+    } else {
+        // Fetch-on-write-miss (TM3260): the line is fetched from
+        // memory before the store merges into it.
+        Cycles done = biu.demandRead(line_addr, dc.lineBytes(), now);
+        dc.fillFromMemory(mem, line_addr, way);
+        if (v.valid && v.dirty)
+            biu.asyncWrite(v.lineAddr, dc.lineBytes(), done);
+        stall = done - now;
+        stats.inc("store_fetch_stall_cycles", stall);
+    }
+    return stall;
+}
+
+Cycles
+Lsu::accessLoadBytes(Addr addr, unsigned len, uint8_t *out, Cycles now)
+{
+    Cycles stall = 0;
+    Addr la = dc.lineAddrOf(addr);
+    Addr la_end = dc.lineAddrOf(addr + len - 1);
+    if (la != la_end)
+        stats.inc("load_line_crossings");
+
+    unsigned done = 0;
+    Addr cur = addr;
+    while (done < len) {
+        Addr line = dc.lineAddrOf(cur);
+        unsigned off = cur - line;
+        unsigned chunk = std::min(len - done, dc.lineBytes() - off);
+        stall += ensureLineForLoad(line, off, chunk, now + stall);
+        int way = dc.probe(line);
+        dc.readBytes(line, way, off, chunk, out + done);
+        done += chunk;
+        cur += chunk;
+    }
+    return stall;
+}
+
+Cycles
+Lsu::accessStoreBytes(Addr addr, unsigned len, const uint8_t *data,
+                      Cycles now)
+{
+    Cycles stall = 0;
+    Addr la = dc.lineAddrOf(addr);
+    Addr la_end = dc.lineAddrOf(addr + len - 1);
+    if (la != la_end)
+        stats.inc("store_line_crossings");
+
+    unsigned done = 0;
+    Addr cur = addr;
+    while (done < len) {
+        Addr line = dc.lineAddrOf(cur);
+        unsigned off = cur - line;
+        unsigned chunk = std::min(len - done, dc.lineBytes() - off);
+        stall += ensureLineForStore(line, now + stall);
+        int way = dc.probe(line);
+        dc.writeBytes(line, way, off, chunk, data + done);
+        done += chunk;
+        cur += chunk;
+    }
+    return stall;
+}
+
+MemResult
+Lsu::load(Opcode opc, Addr addr, Word aux, Cycles now)
+{
+    MemResult r;
+    stats.inc("loads");
+    if (addr & (memAccessSize(opc) >= 4 ? 3 : memAccessSize(opc) - 1))
+        stats.inc("nonaligned_loads");
+
+    if (isMmio(addr)) {
+        tm_assert(opc == Opcode::LD32D || opc == Opcode::LD32R ||
+                      opc == Opcode::LD32X,
+                  "MMIO access must be a 32-bit load");
+        r.data[0] = mmio->read(addr);
+        return r;
+    }
+
+    uint8_t buf[8];
+    unsigned len = memAccessSize(opc);
+    r.stall = accessLoadBytes(addr, len, buf, now);
+
+    switch (opc) {
+      case Opcode::LD8U:
+        r.data[0] = buf[0];
+        break;
+      case Opcode::LD8S:
+        r.data[0] = Word(SWord(int8_t(buf[0])));
+        break;
+      case Opcode::LD16U:
+        r.data[0] = (Word(buf[0]) << 8) | buf[1];
+        break;
+      case Opcode::LD16S:
+        r.data[0] = Word(SWord(int16_t((buf[0] << 8) | buf[1])));
+        break;
+      case Opcode::LD32D:
+      case Opcode::LD32R:
+      case Opcode::LD32X:
+        r.data[0] = packBigEndian(buf);
+        break;
+      case Opcode::SUPER_LD32R:
+        r.data[0] = packBigEndian(buf);
+        r.data[1] = packBigEndian(buf + 4);
+        break;
+      case Opcode::LD_FRAC8: {
+        std::array<uint8_t, 5> d;
+        std::copy_n(buf, 5, d.begin());
+        r.data[0] = interpolateFrac8(d, aux);
+        break;
+      }
+      default:
+        panic("Lsu::load on non-load opcode");
+    }
+
+    // Hardware region prefetch trigger (paper §2.3).
+    if (auto target = pf.onLoad(addr)) {
+        Addr la_t = dc.lineAddrOf(*target);
+        if (inflightIndex(la_t) < 0)
+            enqueuePrefetch(la_t);
+    }
+    tryIssuePrefetch(now + r.stall);
+    return r;
+}
+
+Cycles
+Lsu::store(Opcode opc, Addr addr, Word value, Cycles now)
+{
+    stats.inc("stores");
+
+    if (isMmio(addr)) {
+        tm_assert(opc == Opcode::ST32D || opc == Opcode::ST32R,
+                  "MMIO access must be a 32-bit store");
+        mmio->write(addr, value);
+        return 0;
+    }
+
+    uint8_t buf[4];
+    unsigned len = memAccessSize(opc);
+    switch (len) {
+      case 1:
+        buf[0] = uint8_t(value);
+        break;
+      case 2:
+        buf[0] = uint8_t(value >> 8);
+        buf[1] = uint8_t(value);
+        break;
+      case 4:
+        buf[0] = uint8_t(value >> 24);
+        buf[1] = uint8_t(value >> 16);
+        buf[2] = uint8_t(value >> 8);
+        buf[3] = uint8_t(value);
+        break;
+      default:
+        panic("bad store size");
+    }
+
+    Cycles stall = accessStoreBytes(addr, len, buf, now);
+    stall += cwbPush(now + stall);
+    return stall;
+}
+
+void
+Lsu::softwarePrefetch(Addr addr, Cycles now)
+{
+    enqueuePrefetch(dc.lineAddrOf(addr));
+    tryIssuePrefetch(now);
+}
+
+void
+Lsu::flushCaches()
+{
+    dc.flush(mem);
+    cwb.clear();
+    cwbLastDrain = 0;
+    inflightPf.clear();
+    pfQueue.clear();
+    pfPending.clear();
+    pfInstalled.clear();
+}
+
+} // namespace tm3270

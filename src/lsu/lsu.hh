@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Load/store unit (paper §4): 128 KByte 4-way data cache with 128-byte
+ * lines, LRU replacement, copy-back, allocate-on-write-miss with byte
+ * validity, penalty-free non-aligned access, a cache write buffer
+ * (CWB), refill/copy-back paths through the BIU, and the hardware
+ * prefetch engine driven by the region prefetcher.
+ *
+ * The same unit, configured with TM3260 parameters (16 KByte, 64-byte
+ * lines, 8-way, fetch-on-write-miss), models the baseline processor.
+ */
+
+#ifndef TM3270_LSU_LSU_HH
+#define TM3270_LSU_LSU_HH
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "isa/semantics.hh"
+#include "lsu/mmio.hh"
+#include "memory/biu.hh"
+#include "prefetch/region_prefetcher.hh"
+#include "support/stats.hh"
+
+namespace tm3270
+{
+
+/** Policy parameters of the load/store unit. */
+struct LsuConfig
+{
+    /** true: TM3270 allocate-on-write-miss; false: fetch-on-write. */
+    bool allocateOnWriteMiss = true;
+    unsigned cwbDepth = 8;           ///< cache write buffer entries
+    unsigned prefetchQueueDepth = 8;
+    unsigned maxInflightPrefetch = 2;
+};
+
+/** Result of a load: stall cycles plus up to two register values. */
+struct MemResult
+{
+    Cycles stall = 0;
+    std::array<Word, 2> data = {0, 0};
+};
+
+/**
+ * The load/store unit. All multi-byte memory operations are
+ * big-endian, matching the SUPER_LD32R definition in paper Table 2.
+ */
+class Lsu
+{
+  public:
+    Lsu(LsuConfig cfg, CacheGeometry dcache_geom, Biu &biu,
+        MainMemory &mem, MmioDevice *mmio = nullptr);
+
+    /** Execute a load operation at @p addr; @p aux is the fractional
+     *  position for LD_FRAC8. */
+    MemResult load(Opcode opc, Addr addr, Word aux, Cycles now);
+
+    /** Execute a store; returns stall cycles. */
+    Cycles store(Opcode opc, Addr addr, Word value, Cycles now);
+
+    /** Software prefetch hint (PREF operation). */
+    void softwarePrefetch(Addr addr, Cycles now);
+
+    /** Attach the MMIO device (resolves the construction cycle with
+     *  the core, which owns both the LSU and the device). */
+    void setMmio(MmioDevice *m) { mmio = m; }
+
+    /** Per-instruction housekeeping: prefetch completions and issue. */
+    void tick(Cycles now);
+
+    /** Copy back all dirty lines and invalidate (end of run). */
+    void flushCaches();
+
+    Cache &dcache() { return dc; }
+    RegionPrefetcher &prefetcher() { return pf; }
+    const LsuConfig &config() const { return cfg; }
+
+    StatGroup stats{"lsu"};
+
+  private:
+    LsuConfig cfg;
+    Cache dc;
+    Biu &biu;
+    MainMemory &mem;
+    MmioDevice *mmio;
+    RegionPrefetcher pf;
+
+    /** Cache write buffer: drain times of pending writes. */
+    std::deque<Cycles> cwb;
+    Cycles cwbLastDrain = 0;
+
+    /** In-flight hardware prefetches. */
+    struct InflightPf
+    {
+        Addr lineAddr;
+        Cycles done;
+    };
+    std::vector<InflightPf> inflightPf;
+    std::deque<Addr> pfQueue;
+    std::unordered_set<Addr> pfPending;   ///< queued or in flight
+    std::unordered_set<Addr> pfInstalled; ///< for usefulness stats
+
+    bool isMmio(Addr addr) const;
+    void writeVictim(const Victim &v);
+    Cycles ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
+                             Cycles now);
+    Cycles ensureLineForStore(Addr line_addr, Cycles now);
+    Cycles accessLoadBytes(Addr addr, unsigned len, uint8_t *out,
+                           Cycles now);
+    Cycles accessStoreBytes(Addr addr, unsigned len, const uint8_t *data,
+                            Cycles now);
+    Cycles cwbPush(Cycles now);
+    void enqueuePrefetch(Addr line_addr);
+    void servicePrefetches(Cycles now);
+    void tryIssuePrefetch(Cycles now);
+    int inflightIndex(Addr line_addr) const;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_LSU_LSU_HH

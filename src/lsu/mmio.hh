@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Interface for memory-mapped IO devices. MMIO accesses bypass the
+ * data cache. The core registers a device implementing the prefetch
+ * region registers, cycle counter and debug output.
+ */
+
+#ifndef TM3270_LSU_MMIO_HH
+#define TM3270_LSU_MMIO_HH
+
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** A word-addressed memory-mapped device. */
+class MmioDevice
+{
+  public:
+    virtual ~MmioDevice() = default;
+
+    /** True when this device decodes @p addr. */
+    virtual bool handles(Addr addr) const = 0;
+
+    /** 32-bit MMIO read. */
+    virtual Word read(Addr addr) = 0;
+
+    /** 32-bit MMIO write. */
+    virtual void write(Addr addr, Word value) = 0;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_LSU_MMIO_HH

@@ -1,0 +1,62 @@
+#include "memory/biu.hh"
+
+namespace tm3270
+{
+
+Biu::Biu(MainMemory &mem_, uint32_t cpu_mhz) : mem(mem_), cpuMHz(cpu_mhz)
+{
+}
+
+Cycles
+Biu::toCpuCycles(Cycles mem_cycles) const
+{
+    // Round up: the asynchronous domain crossing re-synchronizes on
+    // the CPU clock.
+    return (mem_cycles * cpuMHz + mem.config().freqMHz - 1) /
+           mem.config().freqMHz;
+}
+
+Cycles
+Biu::demandRead(Addr addr, unsigned bytes, Cycles now)
+{
+    Cycles start = std::max(now, busBusyUntil);
+    Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes));
+    busBusyUntil = start + dur;
+    stats.inc("demand_reads");
+    stats.inc("demand_read_bytes", bytes);
+    stats.inc("bus_wait_cycles", start - now);
+    return busBusyUntil;
+}
+
+Cycles
+Biu::asyncWrite(Addr addr, unsigned bytes, Cycles now)
+{
+    Cycles start = std::max(now, busBusyUntil);
+    Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes));
+    busBusyUntil = start + dur;
+    stats.inc("writes");
+    stats.inc("write_bytes", bytes);
+    return busBusyUntil;
+}
+
+Cycles
+Biu::prefetchRead(Addr addr, unsigned bytes, Cycles now)
+{
+    if (busBusyUntil > now)
+        return 0; // demand traffic has priority; retry later
+    Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes));
+    busBusyUntil = now + dur;
+    stats.inc("prefetch_reads");
+    stats.inc("prefetch_read_bytes", bytes);
+    return busBusyUntil;
+}
+
+void
+Biu::reset()
+{
+    busBusyUntil = 0;
+    stats.reset();
+    mem.resetTiming();
+}
+
+} // namespace tm3270

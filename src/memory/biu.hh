@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bus interface unit (BIU): the processor's interface to the rest of
+ * the SoC (paper §3). Performs the asynchronous clock-domain transfer
+ * between the CPU clock and the memory clock and serializes line
+ * refills, copy-backs and prefetches on the off-chip bus. Demand
+ * traffic has priority over prefetch traffic: a prefetch is only
+ * started when the bus is idle.
+ */
+
+#ifndef TM3270_MEMORY_BIU_HH
+#define TM3270_MEMORY_BIU_HH
+
+#include "memory/main_memory.hh"
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** Bus interface unit with a single shared off-chip bus. */
+class Biu
+{
+  public:
+    /**
+     * @param mem        the off-chip memory (owned by the system)
+     * @param cpu_mhz    CPU clock frequency
+     */
+    Biu(MainMemory &mem, uint32_t cpu_mhz);
+
+    /** Change the CPU frequency (dynamic voltage/frequency scaling). */
+    void setCpuFreq(uint32_t mhz) { cpuMHz = mhz; }
+    uint32_t cpuFreq() const { return cpuMHz; }
+
+    /**
+     * Blocking demand line read at CPU cycle @p now. Returns the CPU
+     * cycle at which the refill data is available.
+     */
+    Cycles demandRead(Addr addr, unsigned bytes, Cycles now);
+
+    /**
+     * Non-blocking write (copy-back drain). Occupies the bus; the
+     * caller does not wait. Returns the completion cycle.
+     */
+    Cycles asyncWrite(Addr addr, unsigned bytes, Cycles now);
+
+    /**
+     * Non-blocking prefetch read. Started only when the bus is idle at
+     * @p now; returns 0 when the bus is busy (prefetch must retry).
+     * Otherwise returns the CPU cycle at which the line is available.
+     */
+    Cycles prefetchRead(Addr addr, unsigned bytes, Cycles now);
+
+    /** CPU cycle until which the bus is occupied. */
+    Cycles busyUntil() const { return busBusyUntil; }
+
+    void reset();
+
+    StatGroup stats{"biu"};
+
+  private:
+    MainMemory &mem;
+    uint32_t cpuMHz;
+    Cycles busBusyUntil = 0;
+
+    Cycles toCpuCycles(Cycles mem_cycles) const;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_MEMORY_BIU_HH

@@ -1,0 +1,92 @@
+#include "memory/main_memory.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+MainMemory::MainMemory(size_t size, DdrConfig cfg_)
+    : store(size, 0), cfg(cfg_), openRow(cfg_.numBanks, -1)
+{
+}
+
+void
+MainMemory::read(Addr addr, uint8_t *out, size_t len) const
+{
+    tm_assert(size_t(addr) + len <= store.size(),
+              "memory read out of bounds: addr 0x%08x len %zu", addr, len);
+    std::memcpy(out, store.data() + addr, len);
+}
+
+void
+MainMemory::write(Addr addr, const uint8_t *data, size_t len,
+                  const uint8_t *mask)
+{
+    tm_assert(size_t(addr) + len <= store.size(),
+              "memory write out of bounds: addr 0x%08x len %zu", addr, len);
+    if (!mask) {
+        std::memcpy(store.data() + addr, data, len);
+        return;
+    }
+    for (size_t i = 0; i < len; ++i) {
+        if (mask[i / 8] & (1u << (i % 8)))
+            store[addr + i] = data[i];
+    }
+}
+
+uint8_t
+MainMemory::byteAt(Addr addr) const
+{
+    tm_assert(addr < store.size(), "byteAt out of bounds 0x%08x", addr);
+    return store[addr];
+}
+
+void
+MainMemory::setByte(Addr addr, uint8_t v)
+{
+    tm_assert(addr < store.size(), "setByte out of bounds 0x%08x", addr);
+    store[addr] = v;
+}
+
+unsigned
+MainMemory::bankOf(Addr addr) const
+{
+    // Cache-line interleaving across banks.
+    return (addr >> 7) % cfg.numBanks;
+}
+
+int64_t
+MainMemory::rowOf(Addr addr) const
+{
+    return addr >> cfg.rowBytesLog2;
+}
+
+Cycles
+MainMemory::transactionCycles(Addr addr, unsigned bytes)
+{
+    unsigned bank = bankOf(addr);
+    int64_t row = rowOf(addr);
+
+    Cycles cyc = cfg.tCtl + cfg.tCas;
+    if (openRow[bank] != row) {
+        cyc += (openRow[bank] >= 0 ? cfg.tRp : 0) + cfg.tRcd;
+        openRow[bank] = row;
+        stats.inc("row_misses");
+    } else {
+        stats.inc("row_hits");
+    }
+    cyc += (bytes + cfg.busBytes - 1) / cfg.busBytes;
+    stats.inc("transactions");
+    stats.inc("bytes", bytes);
+    return cyc;
+}
+
+void
+MainMemory::resetTiming()
+{
+    std::fill(openRow.begin(), openRow.end(), -1);
+}
+
+} // namespace tm3270

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Off-chip DDR SDRAM model: functional byte storage plus a bank/row
+ * timing model. The paper's evaluation uses a 32-bit DDR SDRAM at
+ * 200 MHz (§6); timing here is expressed in *memory* clock cycles and
+ * converted to CPU cycles by the bus interface unit.
+ */
+
+#ifndef TM3270_MEMORY_MAIN_MEMORY_HH
+#define TM3270_MEMORY_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** DDR SDRAM timing and geometry parameters. */
+struct DdrConfig
+{
+    uint32_t freqMHz = 200;      ///< memory clock (DDR: 2 transfers/clock)
+    unsigned busBytes = 8;       ///< bytes per memory clock (32-bit DDR)
+    unsigned numBanks = 4;
+    unsigned rowBytesLog2 = 12;  ///< 4 KByte rows
+    unsigned tRp = 3;            ///< precharge
+    unsigned tRcd = 3;           ///< row activate to column
+    unsigned tCas = 3;           ///< column access
+    unsigned tCtl = 4;           ///< controller/SoC interconnect overhead
+};
+
+/**
+ * Functional DDR memory with open-row timing.
+ *
+ * Storage is a flat array; reads/writes are immediate (timing is
+ * accounted separately by transactionCycles()). Writes support a byte
+ * mask: the TM3270 SoC bus protocol transfers cache lines with
+ * byte-validity indicators (paper §4.1).
+ */
+class MainMemory
+{
+  public:
+    MainMemory(size_t size, DdrConfig cfg = DdrConfig());
+
+    size_t size() const { return store.size(); }
+    const DdrConfig &config() const { return cfg; }
+
+    /** Functional read. */
+    void read(Addr addr, uint8_t *out, size_t len) const;
+
+    /** Functional write with optional byte mask (1 bit per byte). */
+    void write(Addr addr, const uint8_t *data, size_t len,
+               const uint8_t *mask = nullptr);
+
+    uint8_t byteAt(Addr addr) const;
+    void setByte(Addr addr, uint8_t v);
+
+    /**
+     * Timing for one burst transaction of @p bytes at @p addr, in
+     * memory clock cycles, updating the open-row state.
+     */
+    Cycles transactionCycles(Addr addr, unsigned bytes);
+
+    /** Close all rows (e.g. between benchmark runs). */
+    void resetTiming();
+
+    StatGroup stats{"mem"};
+
+  private:
+    std::vector<uint8_t> store;
+    DdrConfig cfg;
+    std::vector<int64_t> openRow; ///< per bank; -1 = closed
+
+    unsigned bankOf(Addr addr) const;
+    int64_t rowOf(Addr addr) const;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_MEMORY_MAIN_MEMORY_HH

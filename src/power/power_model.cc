@@ -1,0 +1,163 @@
+#include "power/power_model.hh"
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+namespace
+{
+
+struct ModuleInfo
+{
+    const char *name;
+    double areaMm2;
+    double paperMwPerMhz;
+};
+
+constexpr ModuleInfo moduleTable[numModules] = {
+    {"IFU", 1.46, 0.272},     {"Decode", 0.05, 0.022},
+    {"Regfile", 0.97, 0.170}, {"Execute", 1.53, 0.255},
+    {"LS", 3.60, 0.266},      {"BIU", 0.24, 0.002},
+    {"MMIO", 0.23, 0.012},
+};
+
+} // namespace
+
+const char *
+moduleName(Module m)
+{
+    return moduleTable[static_cast<unsigned>(m)].name;
+}
+
+double
+moduleAreaMm2(Module m)
+{
+    return moduleTable[static_cast<unsigned>(m)].areaMm2;
+}
+
+double
+totalAreaMm2()
+{
+    double t = 0;
+    for (unsigned i = 0; i < numModules; ++i)
+        t += moduleTable[i].areaMm2;
+    return t;
+}
+
+double
+paperPowerMwPerMhz(Module m)
+{
+    return moduleTable[static_cast<unsigned>(m)].paperMwPerMhz;
+}
+
+ActivitySample
+ActivitySample::fromRun(const System &sys, const RunResult &r)
+{
+    const Processor &cpu = sys.processor;
+    const auto &cs = cpu.stats;
+    double cycles = std::max<double>(1.0, double(r.cycles));
+
+    ActivitySample a;
+    a.issueRate = double(r.instrs) / cycles;
+    a.ifu = double(cs.get("icache_accesses")) / cycles;
+    a.decode = double(r.ops) / cycles;
+    a.regfile = (double(cs.get("regfile_reads")) +
+                 2.0 * double(cs.get("regfile_writes"))) /
+                cycles;
+    double fu_ops = 0;
+    for (const char *k :
+         {"fu_alu", "fu_shifter", "fu_mul", "fu_dspalu", "fu_dspmul",
+          "fu_falu", "fu_fcomp", "fu_ftough", "fu_const", "fu_supermix",
+          "fu_cabac"}) {
+        fu_ops += double(cs.get(k));
+    }
+    // Multiplies and two-slot units switch more logic.
+    fu_ops += 1.5 * double(cs.get("fu_mul") + cs.get("fu_dspmul") +
+                           cs.get("fu_supermix") + cs.get("fu_cabac"));
+    a.execute = fu_ops / cycles;
+
+    const auto &ls = const_cast<Processor &>(cpu).lsu().stats;
+    a.ls = (double(ls.get("loads")) + double(ls.get("stores"))) / cycles;
+
+    const auto &biu = const_cast<Processor &>(cpu).biu().stats;
+    a.biu = (double(biu.get("demand_reads")) + double(biu.get("writes")) +
+             double(biu.get("prefetch_reads"))) /
+            cycles;
+    a.mmio = 1.0; // always-clocked peripheral block
+
+    a.opi = r.opi();
+    a.cpi = r.cpi();
+    return a;
+}
+
+double
+PowerModel::activityOf(Module m, const ActivitySample &act)
+{
+    switch (m) {
+      case Module::IFU: return act.ifu;
+      case Module::Decode: return act.decode;
+      case Module::Regfile: return act.regfile;
+      case Module::Execute: return act.execute;
+      case Module::LS: return act.ls;
+      case Module::BIU: return act.biu;
+      case Module::MMIO: return act.mmio;
+      default: panic("bad module");
+    }
+}
+
+PowerModel::PowerModel()
+{
+    // Reference activities of the MP3 decoder proxy (OPI 4.5, CPI 1.0)
+    // used as default calibration; bench_table4_area_power
+    // re-calibrates against the measured proxy run.
+    ActivitySample mp3;
+    mp3.issueRate = 1.0;
+    mp3.ifu = 0.8;
+    mp3.decode = 4.5;
+    mp3.regfile = 12.0;
+    mp3.execute = 4.0;
+    mp3.ls = 1.2;
+    mp3.biu = 0.005;
+    mp3.mmio = 1.0;
+    calibrate(mp3);
+}
+
+void
+PowerModel::calibrate(const ActivitySample &mp3, double g_frac)
+{
+    for (unsigned i = 0; i < numModules; ++i) {
+        auto m = static_cast<Module>(i);
+        double target = moduleTable[i].paperMwPerMhz;
+        double rate = (m == Module::BIU || m == Module::MMIO)
+                          ? 1.0
+                          : mp3.issueRate;
+        double activity = activityOf(m, mp3);
+        g[i] = g_frac * target / std::max(rate, 1e-9);
+        a[i] = activity > 1e-9 ? (1.0 - g_frac) * target / activity : 0.0;
+    }
+}
+
+double
+PowerModel::moduleMwPerMhz(Module m, const ActivitySample &act,
+                           double voltage) const
+{
+    unsigned i = static_cast<unsigned>(m);
+    double rate = (m == Module::BIU || m == Module::MMIO)
+                      ? 1.0
+                      : act.issueRate;
+    double p = g[i] * rate + a[i] * activityOf(m, act);
+    double vs = (voltage / 1.2) * (voltage / 1.2);
+    return p * vs;
+}
+
+double
+PowerModel::totalMwPerMhz(const ActivitySample &act, double voltage) const
+{
+    double t = 0;
+    for (unsigned i = 0; i < numModules; ++i)
+        t += moduleMwPerMhz(static_cast<Module>(i), act, voltage);
+    return t;
+}
+
+} // namespace tm3270

@@ -1,0 +1,47 @@
+#include "prefetch/region_prefetcher.hh"
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+void
+RegionPrefetcher::setRegion(unsigned n, Addr start, Addr end,
+                            int32_t stride)
+{
+    tm_assert(n < numRegions, "prefetch region index out of range");
+    regions[n] = Region{start, end, stride};
+}
+
+void
+RegionPrefetcher::reset()
+{
+    for (auto &r : regions)
+        r = Region{};
+}
+
+const RegionPrefetcher::Region &
+RegionPrefetcher::region(unsigned n) const
+{
+    tm_assert(n < numRegions, "prefetch region index out of range");
+    return regions[n];
+}
+
+std::optional<Addr>
+RegionPrefetcher::onLoad(Addr addr) const
+{
+    for (const auto &r : regions) {
+        if (!r.enabled() || !r.contains(addr))
+            continue;
+        int64_t target = int64_t(addr) + r.stride;
+        if (target < 0)
+            return std::nullopt;
+        Addr t = static_cast<Addr>(target);
+        if (!r.contains(t))
+            return std::nullopt;
+        return t;
+    }
+    return std::nullopt;
+}
+
+} // namespace tm3270

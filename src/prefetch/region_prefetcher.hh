@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Memory-region based prefetch policy (paper §2.3).
+ *
+ * Software defines up to four memory regions, each with a start
+ * address, end address and stride:
+ *
+ *   PFn_START_ADDR, PFn_END_ADDR, PFn_STRIDE      (n = 0..3)
+ *
+ * When the hardware detects a load from an address A inside region n,
+ * a prefetch request for A + PFn_STRIDE is generated, provided the
+ * prefetch address is itself inside the region. Dedup against the
+ * cache and in-flight refills is done by the prefetch engine in the
+ * load/store unit; this class is pure policy.
+ */
+
+#ifndef TM3270_PREFETCH_REGION_PREFETCHER_HH
+#define TM3270_PREFETCH_REGION_PREFETCHER_HH
+
+#include <array>
+#include <optional>
+
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** The four software-programmed prefetch regions. */
+class RegionPrefetcher
+{
+  public:
+    static constexpr unsigned numRegions = 4;
+
+    /** One prefetch region; disabled while start >= end or stride 0. */
+    struct Region
+    {
+        Addr start = 0;
+        Addr end = 0;
+        int32_t stride = 0;
+
+        bool
+        enabled() const
+        {
+            return start < end && stride != 0;
+        }
+
+        bool
+        contains(Addr a) const
+        {
+            return a >= start && a < end;
+        }
+    };
+
+    /** Program region @p n. */
+    void setRegion(unsigned n, Addr start, Addr end, int32_t stride);
+
+    /** Disable every region. */
+    void reset();
+
+    const Region &region(unsigned n) const;
+
+    /**
+     * Region lookup for a demand load at @p addr: returns the address
+     * to prefetch (addr + stride of the matching region) or nullopt.
+     * The first matching region wins.
+     */
+    std::optional<Addr> onLoad(Addr addr) const;
+
+  private:
+    std::array<Region, numRegions> regions;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_PREFETCH_REGION_PREFETCHER_HH

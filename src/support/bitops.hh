@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the encoder, caches and ISA
+ * semantics.
+ */
+
+#ifndef TM3270_SUPPORT_BITOPS_HH
+#define TM3270_SUPPORT_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** True if @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2i(uint64_t v)
+{
+    unsigned n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & ((len >= 64) ? ~0ULL : ((1ULL << len) - 1));
+}
+
+/** Insert the low @p len bits of @p field into @p v at position lo. */
+constexpr uint64_t
+insertBits(uint64_t v, unsigned lo, unsigned len, uint64_t field)
+{
+    uint64_t mask = ((len >= 64) ? ~0ULL : ((1ULL << len) - 1)) << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+/** Sign-extend the low @p len bits of @p v. */
+constexpr int64_t
+sext(uint64_t v, unsigned len)
+{
+    uint64_t m = 1ULL << (len - 1);
+    uint64_t x = v & ((m << 1) - 1);
+    return static_cast<int64_t>((x ^ m) - m);
+}
+
+/** True if the signed value fits in @p len bits (two's complement). */
+constexpr bool
+fitsSigned(int64_t v, unsigned len)
+{
+    int64_t lo = -(1LL << (len - 1));
+    int64_t hi = (1LL << (len - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+/** True if the unsigned value fits in @p len bits. */
+constexpr bool
+fitsUnsigned(uint64_t v, unsigned len)
+{
+    return len >= 64 || v < (1ULL << len);
+}
+
+/** Align @p a down to a multiple of @p unit (power of two). */
+constexpr Addr
+alignDown(Addr a, unsigned unit)
+{
+    return a & ~static_cast<Addr>(unit - 1);
+}
+
+/** Align @p a up to a multiple of @p unit (power of two). */
+constexpr Addr
+alignUp(Addr a, unsigned unit)
+{
+    return (a + unit - 1) & ~static_cast<Addr>(unit - 1);
+}
+
+/** Pack two 16-bit halves into a DUAL16 word: (a << 16) | (b & 0xffff). */
+constexpr Word
+dual16(Word a, Word b)
+{
+    return (a << 16) | (b & 0xffff);
+}
+
+/** High 16-bit half of a DUAL16 word. */
+constexpr Word
+dual16Hi(Word v)
+{
+    return v >> 16;
+}
+
+/** Low 16-bit half of a DUAL16 word. */
+constexpr Word
+dual16Lo(Word v)
+{
+    return v & 0xffff;
+}
+
+} // namespace tm3270
+
+#endif // TM3270_SUPPORT_BITOPS_HH

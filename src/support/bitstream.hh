@@ -1,0 +1,133 @@
+/**
+ * @file
+ * MSB-first bit-level reader/writer used by the VLIW instruction
+ * encoder/decoder and by the CABAC bitstream machinery.
+ */
+
+#ifndef TM3270_SUPPORT_BITSTREAM_HH
+#define TM3270_SUPPORT_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace tm3270
+{
+
+/** Append bits MSB-first to a growing byte vector. */
+class BitWriter
+{
+  public:
+    /**
+     * Append the low @p len bits of @p value, most significant bit
+     * first.
+     */
+    void
+    put(uint64_t value, unsigned len)
+    {
+        tm_assert(len <= 64, "bit write too wide");
+        for (unsigned i = len; i-- > 0;)
+            putBit((value >> i) & 1);
+    }
+
+    /** Append a single bit. */
+    void
+    putBit(unsigned bit)
+    {
+        if (bitPos == 0)
+            bytes.push_back(0);
+        if (bit)
+            bytes.back() |= static_cast<uint8_t>(0x80u >> bitPos);
+        bitPos = (bitPos + 1) & 7;
+    }
+
+    /** Pad with zero bits to the next byte boundary. */
+    void
+    alignByte()
+    {
+        bitPos = 0;
+    }
+
+    /** Number of whole bytes written so far (including padding). */
+    size_t size() const { return bytes.size(); }
+
+    /** Total number of bits written (excluding alignment padding). */
+    size_t
+    bitSize() const
+    {
+        return bytes.size() * 8 - (bitPos ? (8 - bitPos) : 0);
+    }
+
+    /** The accumulated bytes. */
+    const std::vector<uint8_t> &data() const { return bytes; }
+
+  private:
+    std::vector<uint8_t> bytes;
+    unsigned bitPos = 0;
+};
+
+/** Read bits MSB-first from a byte buffer. */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t size_bytes)
+        : buf(data), sizeBits(size_bytes * 8)
+    {}
+
+    explicit BitReader(const std::vector<uint8_t> &data)
+        : BitReader(data.data(), data.size())
+    {}
+
+    /** Read @p len bits MSB-first. */
+    uint64_t
+    get(unsigned len)
+    {
+        tm_assert(len <= 64, "bit read too wide");
+        uint64_t v = 0;
+        for (unsigned i = 0; i < len; ++i)
+            v = (v << 1) | getBit();
+        return v;
+    }
+
+    /** Read a single bit. */
+    unsigned
+    getBit()
+    {
+        if (pos >= sizeBits)
+            fatal("bitstream underflow at bit %zu", pos);
+        unsigned bit = (buf[pos >> 3] >> (7 - (pos & 7))) & 1;
+        ++pos;
+        return bit;
+    }
+
+    /** Skip forward to the next byte boundary. */
+    void
+    alignByte()
+    {
+        pos = (pos + 7) & ~static_cast<size_t>(7);
+    }
+
+    /** Reposition to an absolute bit offset. */
+    void
+    seekBits(size_t bit_offset)
+    {
+        tm_assert(bit_offset <= sizeBits, "seek past end");
+        pos = bit_offset;
+    }
+
+    /** Current absolute bit position. */
+    size_t bitPos() const { return pos; }
+
+    /** Bits remaining. */
+    size_t remaining() const { return sizeBits - pos; }
+
+  private:
+    const uint8_t *buf;
+    size_t sizeBits;
+    size_t pos = 0;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_SUPPORT_BITSTREAM_HH

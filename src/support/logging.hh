@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — a model bug: a condition that must never occur regardless of
+ *            user input. Aborts.
+ * fatal()  — a user error (bad configuration, malformed program). Throws
+ *            FatalError so embedding code and tests can recover.
+ * warn()   — something suspicious that does not stop simulation.
+ */
+
+#ifndef TM3270_SUPPORT_LOGGING_HH
+#define TM3270_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace tm3270
+{
+
+/** Exception thrown by fatal(): a user-level, recoverable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a simulator bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user error: throws FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a non-fatal warning on stderr. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Implementation detail of tm_assert. */
+[[noreturn]] void panicAssertFail(const char *cond, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** panic() if the condition does not hold. */
+#define tm_assert(cond, ...)                                                \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::tm3270::panicAssertFail(#cond, __VA_ARGS__);                  \
+    } while (0)
+
+} // namespace tm3270
+
+#endif // TM3270_SUPPORT_LOGGING_HH

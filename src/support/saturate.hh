@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Saturating (clipping) arithmetic helpers for the SIMD and DSP
+ * operations of the TriMedia ISA.
+ */
+
+#ifndef TM3270_SUPPORT_SATURATE_HH
+#define TM3270_SUPPORT_SATURATE_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tm3270
+{
+
+/** Clip @p v to the signed 32-bit range. */
+constexpr int32_t
+clipS32(int64_t v)
+{
+    return static_cast<int32_t>(
+        std::min<int64_t>(std::max<int64_t>(v, INT32_MIN), INT32_MAX));
+}
+
+/** Clip @p v to the signed 16-bit range. */
+constexpr int16_t
+clipS16(int64_t v)
+{
+    return static_cast<int16_t>(
+        std::min<int64_t>(std::max<int64_t>(v, INT16_MIN), INT16_MAX));
+}
+
+/** Clip @p v to the unsigned 8-bit range. */
+constexpr uint8_t
+clipU8(int64_t v)
+{
+    return static_cast<uint8_t>(std::min<int64_t>(std::max<int64_t>(v, 0),
+                                                  255));
+}
+
+/** Clip @p v to the unsigned 16-bit range. */
+constexpr uint16_t
+clipU16(int64_t v)
+{
+    return static_cast<uint16_t>(
+        std::min<int64_t>(std::max<int64_t>(v, 0), 65535));
+}
+
+/** Clip @p v to [0, bound] (TriMedia uclipi semantics). */
+constexpr int64_t
+clipRange(int64_t v, int64_t lo, int64_t hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+} // namespace tm3270
+
+#endif // TM3270_SUPPORT_SATURATE_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lightweight named-counter statistics, in the spirit of gem5's stats
+ * package. Units register scalar counters in a StatGroup; harnesses
+ * read or dump them after simulation.
+ */
+
+#ifndef TM3270_SUPPORT_STATS_HH
+#define TM3270_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace tm3270
+{
+
+/** A hierarchical group of named 64-bit counters. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : groupName(std::move(name)) {}
+
+    /** Increment counter @p name by @p n (creating it at 0 if new). */
+    void
+    inc(const std::string &name, uint64_t n = 1)
+    {
+        counters[name] += n;
+    }
+
+    /** Set counter @p name to an absolute value. */
+    void
+    set(const std::string &name, uint64_t v)
+    {
+        counters[name] = v;
+    }
+
+    /** Read a counter; returns 0 when it has never been touched. */
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters.find(name);
+        return it == counters.end() ? 0 : it->second;
+    }
+
+    /** Reset every counter to zero. */
+    void
+    reset()
+    {
+        for (auto &kv : counters)
+            kv.second = 0;
+    }
+
+    /** Group name used as a dump prefix. */
+    const std::string &name() const { return groupName; }
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, uint64_t> &all() const { return counters; }
+
+    /** Write "group.counter value" lines to @p os. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &[k, v] : counters)
+            os << groupName << '.' << k << ' ' << v << '\n';
+    }
+
+  private:
+    std::string groupName;
+    std::map<std::string, uint64_t> counters;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_SUPPORT_STATS_HH

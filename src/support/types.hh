@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the TM3270 model.
+ */
+
+#ifndef TM3270_SUPPORT_TYPES_HH
+#define TM3270_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace tm3270
+{
+
+/** 32-bit virtual/physical address (the TM3270 has a 32-bit address space). */
+using Addr = uint32_t;
+
+/** Machine word: the unified register file holds 32-bit words. */
+using Word = uint32_t;
+
+/** Signed view of a machine word. */
+using SWord = int32_t;
+
+/** Cycle count. Simulations can run long; use 64 bits. */
+using Cycles = uint64_t;
+
+/** Architectural register index (r0 .. r127). */
+using RegIndex = uint8_t;
+
+/** Number of architectural registers in the unified register file. */
+inline constexpr unsigned numRegs = 128;
+
+/** Register r0 always reads 0 (TriMedia convention). */
+inline constexpr RegIndex regZero = 0;
+
+/** Register r1 always reads 1 (TriMedia convention; default guard). */
+inline constexpr RegIndex regOne = 1;
+
+} // namespace tm3270
+
+#endif // TM3270_SUPPORT_TYPES_HH

@@ -1,0 +1,322 @@
+#include "tir/builder.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace tm3270::tir
+{
+
+Builder::Builder()
+{
+    prog.blocks.emplace_back();
+    prog.isVar = {false, false};
+    prog.pin = {0, 1}; // vzero -> r0, vone -> r1
+    useCount = {0, 0};
+    aliasTo = {vzero, vzero};
+    aliasDead = {false, false};
+}
+
+VReg
+Builder::resolve(VReg r) const
+{
+    if (aliasTo[r] == vzero || r < 2)
+        return r;
+    tm_assert(!aliasDead[r],
+              "vreg %u was coalesced into a variable that has since "
+              "been reassigned", r);
+    return aliasTo[r];
+}
+
+void
+Builder::killAliasesOf(VReg var)
+{
+    if (!prog.isVar[var])
+        return;
+    for (VReg v = 2; v < prog.numVRegs; ++v) {
+        if (aliasTo[v] == var)
+            aliasDead[v] = true;
+    }
+}
+
+VReg
+Builder::fresh(bool is_var, int16_t pin)
+{
+    VReg v = prog.numVRegs++;
+    prog.isVar.push_back(is_var);
+    prog.pin.push_back(pin);
+    useCount.push_back(0);
+    aliasTo.push_back(vzero);
+    aliasDead.push_back(false);
+    return v;
+}
+
+VReg
+Builder::temp()
+{
+    return fresh(false, -1);
+}
+
+VReg
+Builder::var()
+{
+    return fresh(true, -1);
+}
+
+VReg
+Builder::pinned(RegIndex r)
+{
+    tm_assert(r >= 2 && r < numRegs, "cannot pin r%u", unsigned(r));
+    return fresh(true, static_cast<int16_t>(r));
+}
+
+int
+Builder::newBlock()
+{
+    prog.blocks.emplace_back();
+    return static_cast<int>(prog.blocks.size()) - 1;
+}
+
+void
+Builder::setBlock(int b)
+{
+    tm_assert(b >= 0 && size_t(b) < prog.blocks.size(), "bad block id");
+    curBlock = b;
+}
+
+void
+Builder::noteUses(const TirOp &op)
+{
+    const OpInfo &oi = opInfo(op.opc);
+    ++useCount[op.guard];
+    for (unsigned i = 0; i < 4; ++i) {
+        if (oi.readsSrc(i))
+            ++useCount[op.src[i]];
+    }
+    if (oi.isStore)
+        ++useCount[op.dst[0]];
+}
+
+TirOp &
+Builder::push(TirOp op)
+{
+    TirBlock &b = prog.blocks[size_t(curBlock)];
+    tm_assert(!b.hasTerminator,
+              "emitting into a terminated block (block %d)", curBlock);
+    // Redirect reads of coalesced-away temporaries to their variable.
+    const OpInfo &oi = opInfo(op.opc);
+    op.guard = resolve(op.guard);
+    for (unsigned i = 0; i < 4; ++i) {
+        if (oi.readsSrc(i))
+            op.src[i] = resolve(op.src[i]);
+    }
+    if (oi.isStore) {
+        op.dst[0] = resolve(op.dst[0]);
+    } else {
+        for (unsigned i = 0; i < oi.numDst; ++i)
+            killAliasesOf(op.dst[i]);
+    }
+    noteUses(op);
+    b.ops.push_back(op);
+    return b.ops.back();
+}
+
+VReg
+Builder::emit(Opcode opc, VReg s1, VReg s2, int32_t imm, VReg guard)
+{
+    const OpInfo &oi = opInfo(opc);
+    tm_assert(!oi.isStore && !oi.isBranch && oi.numDst >= 1,
+              "emit() needs a value-producing op, got %s",
+              std::string(oi.mnemonic).c_str());
+    TirOp op;
+    op.opc = opc;
+    op.guard = guard;
+    op.src[0] = s1;
+    op.src[1] = s2;
+    op.imm = imm;
+    op.dst[0] = temp();
+    push(op);
+    return op.dst[0];
+}
+
+std::pair<VReg, VReg>
+Builder::emit2(Opcode opc, VReg s1, VReg s2, VReg s3, VReg s4, VReg guard)
+{
+    const OpInfo &oi = opInfo(opc);
+    tm_assert(oi.numDst == 2, "emit2() needs a two-destination op");
+    TirOp op;
+    op.opc = opc;
+    op.guard = guard;
+    op.src = {s1, s2, s3, s4};
+    op.dst[0] = temp();
+    op.dst[1] = temp();
+    push(op);
+    return {op.dst[0], op.dst[1]};
+}
+
+std::pair<VReg, VReg>
+Builder::superLd32r(VReg base, VReg off)
+{
+    // Sources live in positions 2/3 (encoded in the second operation
+    // of the pair, paper Table 2).
+    TirOp op;
+    op.opc = Opcode::SUPER_LD32R;
+    op.src[2] = base;
+    op.src[3] = off;
+    op.dst[0] = temp();
+    op.dst[1] = temp();
+    push(op);
+    return {op.dst[0], op.dst[1]};
+}
+
+void
+Builder::emitVoid(Opcode opc, VReg value, VReg s1, VReg s2, int32_t imm,
+                  VReg guard)
+{
+    const OpInfo &oi = opInfo(opc);
+    tm_assert(oi.isStore || opc == Opcode::PREF,
+              "emitVoid() is for stores and prefetch hints");
+    TirOp op;
+    op.opc = opc;
+    op.guard = guard;
+    op.src[0] = s1;
+    op.src[1] = s2;
+    op.imm = imm;
+    op.dst[0] = value; // stores carry the value in the dst field
+    push(op);
+}
+
+VReg
+Builder::imm32(int32_t v)
+{
+    if (fitsSigned(v, 16))
+        return emit(Opcode::IMM16, vzero, vzero, v & 0xffff);
+    if ((v & 0xffff) == 0)
+        return emit(Opcode::IMMHI, vzero, vzero,
+                    (v >> 16) & 0xffff);
+    VReg hi = emit(Opcode::IMM16, vzero, vzero, (v >> 16) & 0xffff);
+    VReg lo = emit(Opcode::IMM16, vzero, vzero, v & 0xffff);
+    return pack16lsb(hi, lo);
+}
+
+void
+Builder::terminate(TirOp op)
+{
+    TirBlock &b = prog.blocks[size_t(curBlock)];
+    tm_assert(!b.hasTerminator, "block %d already terminated", curBlock);
+    op.guard = resolve(op.guard);
+    op.src[0] = resolve(op.src[0]);
+    noteUses(op);
+    b.terminator = op;
+    b.hasTerminator = true;
+}
+
+void
+Builder::jmpi(int block)
+{
+    TirOp op;
+    op.opc = Opcode::JMPI;
+    op.targetBlock = block;
+    terminate(op);
+}
+
+void
+Builder::jmpt(VReg guard, int block)
+{
+    TirOp op;
+    op.opc = Opcode::JMPT;
+    op.guard = guard;
+    op.targetBlock = block;
+    terminate(op);
+}
+
+void
+Builder::jmpf(VReg guard, int block)
+{
+    TirOp op;
+    op.opc = Opcode::JMPF;
+    op.guard = guard;
+    op.targetBlock = block;
+    terminate(op);
+}
+
+void
+Builder::halt(VReg value)
+{
+    TirOp op;
+    op.opc = Opcode::HALT;
+    op.src[0] = resolve(value);
+    ++useCount[op.src[0]];
+    TirBlock &b = prog.blocks[size_t(curBlock)];
+    tm_assert(!b.hasTerminator, "block %d already terminated", curBlock);
+    ++useCount[op.guard];
+    b.terminator = op;
+    b.hasTerminator = true;
+}
+
+void
+Builder::assign(VReg v, VReg val, VReg guard)
+{
+    tm_assert(prog.isVar[v], "assign() target must be a variable");
+
+    // Coalesce: retarget the defining op when val is an unused SSA
+    // temporary defined in the current block (and unguarded, so the
+    // retarget cannot change which register receives the result).
+    // Later uses of the temporary transparently forward to the
+    // variable (until it is reassigned) via the alias table.
+    val = resolve(val);
+    if (!prog.isVar[val] && useCount[val] == 0 && guard == vone) {
+        TirBlock &b = prog.blocks[size_t(curBlock)];
+        // Walk back to the defining op. Retargeting hoists the
+        // variable's definition to that position, so the coalesce is
+        // only legal when no op in between reads or writes v.
+        bool v_touched = false;
+        for (auto it = b.ops.rbegin(); it != b.ops.rend(); ++it) {
+            const OpInfo &oi = opInfo(it->opc);
+            if (!oi.isStore) {
+                for (unsigned d = 0; d < oi.numDst; ++d) {
+                    if (it->dst[d] == val && it->guard == vone &&
+                        !v_touched) {
+                        killAliasesOf(v);
+                        it->dst[d] = v;
+                        aliasTo[val] = v;
+                        aliasDead[val] = false;
+                        return;
+                    }
+                }
+            }
+            // Does this op touch v (read through guard/sources/store
+            // value, or define it)?
+            if (it->guard == v)
+                v_touched = true;
+            for (unsigned i = 0; i < 4; ++i) {
+                if (oi.readsSrc(i) && it->src[i] == v)
+                    v_touched = true;
+            }
+            if (oi.isStore) {
+                if (it->dst[0] == v)
+                    v_touched = true;
+            } else {
+                for (unsigned d = 0; d < oi.numDst; ++d) {
+                    if (it->dst[d] == v)
+                        v_touched = true;
+                }
+            }
+        }
+    }
+    killAliasesOf(v);
+    TirOp op;
+    op.opc = Opcode::IADD;
+    op.guard = guard;
+    op.src[0] = val;
+    op.src[1] = vzero;
+    op.dst[0] = v;
+    push(op);
+}
+
+TirProgram
+Builder::take()
+{
+    return std::move(prog);
+}
+
+} // namespace tm3270::tir

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Fluent construction API for TIR programs. Workload kernels are
+ * written against this interface; see src/workloads for examples.
+ */
+
+#ifndef TM3270_TIR_BUILDER_HH
+#define TM3270_TIR_BUILDER_HH
+
+#include <utility>
+
+#include "tir/tir.hh"
+
+namespace tm3270::tir
+{
+
+/** Builds a TirProgram block by block. */
+class Builder
+{
+  public:
+    Builder();
+
+    /** The always-0 / always-1 virtual registers. */
+    VReg zero() const { return vzero; }
+    VReg one() const { return vone; }
+
+    /** Fresh SSA temporary. */
+    VReg temp();
+
+    /** Fresh variable: multiply-assignable, gets a dedicated register. */
+    VReg var();
+
+    /** Variable pinned to architectural register @p r (ABI: kernel
+     *  arguments and results). */
+    VReg pinned(RegIndex r);
+
+    /** Create a new block (laid out in creation order); returns id. */
+    int newBlock();
+
+    /** Switch the emission point. */
+    void setBlock(int b);
+    int currentBlock() const { return curBlock; }
+
+    // --- generic emitters ------------------------------------------------
+
+    /** Emit an op with one destination; returns a fresh temporary. */
+    VReg emit(Opcode opc, VReg s1 = vzero, VReg s2 = vzero,
+              int32_t imm = 0, VReg guard = vone);
+
+    /** Emit a two-destination op (two-slot operations). */
+    std::pair<VReg, VReg> emit2(Opcode opc, VReg s1, VReg s2, VReg s3,
+                                VReg s4, VReg guard = vone);
+
+    /** Emit an op with no register result (stores, pref). */
+    void emitVoid(Opcode opc, VReg value, VReg s1, VReg s2 = vzero,
+                  int32_t imm = 0, VReg guard = vone);
+
+    // --- common operations ------------------------------------------------
+
+    VReg iadd(VReg a, VReg b) { return emit(Opcode::IADD, a, b); }
+    VReg isub(VReg a, VReg b) { return emit(Opcode::ISUB, a, b); }
+    VReg iand(VReg a, VReg b) { return emit(Opcode::IAND, a, b); }
+    VReg ior(VReg a, VReg b) { return emit(Opcode::IOR, a, b); }
+    VReg ixor(VReg a, VReg b) { return emit(Opcode::IXOR, a, b); }
+    VReg imin(VReg a, VReg b) { return emit(Opcode::IMIN, a, b); }
+    VReg imax(VReg a, VReg b) { return emit(Opcode::IMAX, a, b); }
+    VReg imul(VReg a, VReg b) { return emit(Opcode::IMUL, a, b); }
+    VReg ieql(VReg a, VReg b) { return emit(Opcode::IEQL, a, b); }
+    VReg ineq(VReg a, VReg b) { return emit(Opcode::INEQ, a, b); }
+    VReg igtr(VReg a, VReg b) { return emit(Opcode::IGTR, a, b); }
+    VReg iles(VReg a, VReg b) { return emit(Opcode::ILES, a, b); }
+    VReg igeq(VReg a, VReg b) { return emit(Opcode::IGEQ, a, b); }
+    VReg ileq(VReg a, VReg b) { return emit(Opcode::ILEQ, a, b); }
+    VReg ilesu(VReg a, VReg b) { return emit(Opcode::ILESU, a, b); }
+    VReg asl(VReg a, VReg b) { return emit(Opcode::ASL, a, b); }
+    VReg asr(VReg a, VReg b) { return emit(Opcode::ASR, a, b); }
+    VReg lsr(VReg a, VReg b) { return emit(Opcode::LSR, a, b); }
+    VReg iaddi(VReg a, int32_t i) { return emit(Opcode::IADDI, a, vzero, i); }
+    VReg iandi(VReg a, int32_t i) { return emit(Opcode::IANDI, a, vzero, i); }
+    VReg iori(VReg a, int32_t i) { return emit(Opcode::IORI, a, vzero, i); }
+    VReg asli(VReg a, int32_t i) { return emit(Opcode::ASLI, a, vzero, i); }
+    VReg asri(VReg a, int32_t i) { return emit(Opcode::ASRI, a, vzero, i); }
+    VReg lsri(VReg a, int32_t i) { return emit(Opcode::LSRI, a, vzero, i); }
+    VReg ieqli(VReg a, int32_t i) { return emit(Opcode::IEQLI, a, vzero, i); }
+    VReg igtri(VReg a, int32_t i) { return emit(Opcode::IGTRI, a, vzero, i); }
+    VReg ilesi(VReg a, int32_t i) { return emit(Opcode::ILESI, a, vzero, i); }
+    VReg sex8(VReg a) { return emit(Opcode::SEX8, a); }
+    VReg zex8(VReg a) { return emit(Opcode::ZEX8, a); }
+    VReg sex16(VReg a) { return emit(Opcode::SEX16, a); }
+    VReg zex16(VReg a) { return emit(Opcode::ZEX16, a); }
+    VReg quadavg(VReg a, VReg b) { return emit(Opcode::QUADAVG, a, b); }
+    VReg ume8uu(VReg a, VReg b) { return emit(Opcode::UME8UU, a, b); }
+    VReg quadumin(VReg a, VReg b) { return emit(Opcode::QUADUMIN, a, b); }
+    VReg quadumax(VReg a, VReg b) { return emit(Opcode::QUADUMAX, a, b); }
+    VReg mergelsb(VReg a, VReg b) { return emit(Opcode::MERGELSB, a, b); }
+    VReg mergemsb(VReg a, VReg b) { return emit(Opcode::MERGEMSB, a, b); }
+    VReg pack16lsb(VReg a, VReg b) { return emit(Opcode::PACK16LSB, a, b); }
+    VReg pack16msb(VReg a, VReg b) { return emit(Opcode::PACK16MSB, a, b); }
+    VReg funshift1(VReg a, VReg b) { return emit(Opcode::FUNSHIFT1, a, b); }
+    VReg funshift2(VReg a, VReg b) { return emit(Opcode::FUNSHIFT2, a, b); }
+    VReg funshift3(VReg a, VReg b) { return emit(Opcode::FUNSHIFT3, a, b); }
+    VReg ifir16(VReg a, VReg b) { return emit(Opcode::IFIR16, a, b); }
+    VReg ifir8ui(VReg a, VReg b) { return emit(Opcode::IFIR8UI, a, b); }
+    VReg dspidualadd(VReg a, VReg b)
+    {
+        return emit(Opcode::DSPIDUALADD, a, b);
+    }
+    VReg dspidualmul(VReg a, VReg b)
+    {
+        return emit(Opcode::DSPIDUALMUL, a, b);
+    }
+    VReg uclipi(VReg a, VReg b) { return emit(Opcode::UCLIPI, a, b); }
+    VReg dspidualpack(VReg a, VReg b)
+    {
+        return emit(Opcode::DSPIDUALPACK, a, b);
+    }
+    VReg ubytesel(VReg a, VReg b) { return emit(Opcode::UBYTESEL, a, b); }
+
+    /** Materialize a 32-bit constant (1..3 operations). */
+    VReg imm32(int32_t v);
+
+    // Loads.
+    VReg ld8u(VReg base, int32_t off = 0, VReg guard = vone)
+    {
+        return emit(Opcode::LD8U, base, vzero, off, guard);
+    }
+    VReg ld8s(VReg base, int32_t off = 0)
+    {
+        return emit(Opcode::LD8S, base, vzero, off);
+    }
+    VReg ld16u(VReg base, int32_t off = 0)
+    {
+        return emit(Opcode::LD16U, base, vzero, off);
+    }
+    VReg ld16s(VReg base, int32_t off = 0)
+    {
+        return emit(Opcode::LD16S, base, vzero, off);
+    }
+    VReg ld32d(VReg base, int32_t off = 0, VReg guard = vone)
+    {
+        return emit(Opcode::LD32D, base, vzero, off, guard);
+    }
+    VReg ld32r(VReg base, VReg off) { return emit(Opcode::LD32R, base, off); }
+    VReg ldFrac8(VReg addr, VReg frac)
+    {
+        return emit(Opcode::LD_FRAC8, addr, frac);
+    }
+
+    /** Two-slot load of two consecutive words (big-endian). */
+    std::pair<VReg, VReg> superLd32r(VReg base, VReg off);
+
+    /** Two-slot pairwise 16-bit 2-tap filter. */
+    std::pair<VReg, VReg>
+    superDualimix(VReg a, VReg b, VReg c, VReg d)
+    {
+        return emit2(Opcode::SUPER_DUALIMIX, a, b, c, d);
+    }
+
+    /** CABAC context step: returns ((value,range), (state,mps)). */
+    std::pair<VReg, VReg>
+    superCabacCtx(VReg vr, VReg pos, VReg stream, VReg sm)
+    {
+        return emit2(Opcode::SUPER_CABAC_CTX, vr, pos, stream, sm);
+    }
+
+    /** CABAC stream step: returns (bit position, decoded bit). */
+    std::pair<VReg, VReg>
+    superCabacStr(VReg vr, VReg pos, VReg sm)
+    {
+        return emit2(Opcode::SUPER_CABAC_STR, vr, pos, sm, vzero);
+    }
+
+    // Stores (value, base, displacement).
+    void st8d(VReg v, VReg base, int32_t off = 0, VReg guard = vone)
+    {
+        emitVoid(Opcode::ST8D, v, base, vzero, off, guard);
+    }
+    void st16d(VReg v, VReg base, int32_t off = 0)
+    {
+        emitVoid(Opcode::ST16D, v, base, vzero, off);
+    }
+    void st32d(VReg v, VReg base, int32_t off = 0, VReg guard = vone)
+    {
+        emitVoid(Opcode::ST32D, v, base, vzero, off, guard);
+    }
+    void st32r(VReg v, VReg base, VReg off)
+    {
+        emitVoid(Opcode::ST32R, v, base, off);
+    }
+    void pref(VReg base, int32_t off = 0)
+    {
+        emitVoid(Opcode::PREF, vzero, base, vzero, off);
+    }
+
+    // Control flow (block terminators).
+    void jmpi(int block);
+    void jmpt(VReg guard, int block);
+    void jmpf(VReg guard, int block);
+    void halt(VReg value = vzero);
+
+    /**
+     * Assign @p val to variable @p v. When @p val is an unused SSA
+     * temporary defined in the current block, the defining operation
+     * is retargeted (no move is emitted); otherwise a move op is
+     * emitted.
+     */
+    void assign(VReg v, VReg val, VReg guard = vone);
+
+    /** Finish and take the program. */
+    TirProgram take();
+
+    const TirProgram &program() const { return prog; }
+
+  private:
+    TirProgram prog;
+    int curBlock = 0;
+    std::vector<uint32_t> useCount;
+    /** Coalesced-away temporaries forward to their variable until the
+     *  variable is reassigned (then further uses are an error). */
+    std::vector<VReg> aliasTo;
+    std::vector<bool> aliasDead;
+
+    VReg resolve(VReg r) const;
+    void killAliasesOf(VReg var);
+
+    TirOp &push(TirOp op);
+    void noteUses(const TirOp &op);
+    void terminate(TirOp op);
+    VReg fresh(bool is_var, int16_t pin);
+};
+
+} // namespace tm3270::tir
+
+#endif // TM3270_TIR_BUILDER_HH

@@ -1,0 +1,664 @@
+#include "tir/scheduler.hh"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace tm3270::tir
+{
+
+SchedConfig
+SchedConfig::fromMachine(const MachineConfig &m)
+{
+    SchedConfig c;
+    c.loadSlotMask = m.loadSlotMask;
+    c.maxLoadsPerInst = m.maxLoadsPerInst;
+    c.jumpDelaySlots = m.jumpDelaySlots;
+    c.loadLatency = m.loadLatency;
+    c.allowTm3270Ops = m.name != "TM3260";
+    return c;
+}
+
+size_t
+CompiledProgram::numOps() const
+{
+    size_t n = 0;
+    for (const auto &inst : insts) {
+        for (const auto &op : inst.slot) {
+            if (op.used())
+                n += op.info().isTwoSlot ? 2 : 1;
+        }
+    }
+    return n;
+}
+
+namespace
+{
+
+constexpr int16_t unassigned = -1;
+
+bool
+isTm3270Only(Opcode opc)
+{
+    switch (opc) {
+      case Opcode::SUPER_DUALIMIX:
+      case Opcode::SUPER_LD32R:
+      case Opcode::LD_FRAC8:
+      case Opcode::SUPER_CABAC_CTX:
+      case Opcode::SUPER_CABAC_STR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Virtual registers read by @p op (guard, sources, store value). */
+void
+forEachRead(const TirOp &op, const std::function<void(VReg)> &fn)
+{
+    const OpInfo &oi = opInfo(op.opc);
+    fn(op.guard);
+    for (unsigned i = 0; i < 4; ++i) {
+        if (oi.readsSrc(i))
+            fn(op.src[i]);
+    }
+    if (oi.isStore)
+        fn(op.dst[0]);
+}
+
+/** Virtual registers defined by @p op. */
+void
+forEachDef(const TirOp &op, const std::function<void(VReg)> &fn)
+{
+    const OpInfo &oi = opInfo(op.opc);
+    if (oi.isStore)
+        return;
+    for (unsigned i = 0; i < oi.numDst; ++i)
+        fn(op.dst[i]);
+}
+
+/** The whole-program compiler. */
+class Compiler
+{
+  public:
+    Compiler(const TirProgram &prog, const SchedConfig &cfg)
+        : p(prog), cfg(cfg)
+    {}
+
+    CompiledProgram run();
+
+  private:
+    const TirProgram &p;
+    const SchedConfig &cfg;
+
+    // vreg classification and global allocation
+    std::vector<bool> isGlobal;
+    std::vector<int16_t> archOf; ///< for globals and pinned
+    std::vector<bool> archUsedByGlobal;
+
+    // result
+    std::vector<VliwInst> insts;
+    std::vector<uint32_t> blockStart;
+    std::vector<std::pair<size_t, int>> branchFixups; ///< (inst, block)
+
+    unsigned effLatency(const TirOp &op) const;
+    void classify();
+    void allocateGlobals();
+    void scheduleBlock(const TirBlock &blk);
+    void scheduleBlockAttempt(const TirBlock &blk, size_t window);
+    RegIndex mapArch(VReg v,
+                     const std::map<VReg, RegIndex> &local_map) const;
+    Operation lowerOp(const TirOp &op,
+                      const std::map<VReg, RegIndex> &local_map) const;
+};
+
+unsigned
+Compiler::effLatency(const TirOp &op) const
+{
+    const OpInfo &oi = opInfo(op.opc);
+    if (op.opc == Opcode::LD_FRAC8)
+        return cfg.loadLatency + 2;
+    if (oi.isLoad)
+        return cfg.loadLatency;
+    return oi.latency;
+}
+
+void
+Compiler::classify()
+{
+    const uint32_t n = p.numVRegs;
+    std::vector<int> def_block(n, -2), use_block(n, -2);
+    auto note = [](std::vector<int> &v, VReg r, int b) {
+        if (v[r] == -2)
+            v[r] = b;
+        else if (v[r] != b)
+            v[r] = -3;
+    };
+
+    for (size_t b = 0; b < p.blocks.size(); ++b) {
+        const TirBlock &blk = p.blocks[b];
+        auto scan = [&](const TirOp &op) {
+            forEachRead(op, [&](VReg r) { note(use_block, r, int(b)); });
+            forEachDef(op, [&](VReg r) { note(def_block, r, int(b)); });
+        };
+        for (const auto &op : blk.ops)
+            scan(op);
+        if (blk.hasTerminator)
+            scan(blk.terminator);
+    }
+
+    // A variable confined to one block whose first access (in program
+    // order) is an *unguarded* definition is re-initialized on every
+    // execution of the block: it carries no value across executions
+    // and can be allocated like a block-local (multi-def) temporary.
+    std::vector<bool> localizable(n, false);
+    for (const TirBlock &blk : p.blocks) {
+        std::vector<uint8_t> seen(n, 0); // 1 = def first, 2 = use first
+        auto see_use = [&](VReg r) {
+            if (!seen[r])
+                seen[r] = 2;
+        };
+        auto scan = [&](const TirOp &op) {
+            const OpInfo &oi = opInfo(op.opc);
+            see_use(op.guard);
+            for (unsigned i = 0; i < 4; ++i) {
+                if (oi.readsSrc(i))
+                    see_use(op.src[i]);
+            }
+            if (oi.isStore) {
+                see_use(op.dst[0]);
+            } else {
+                for (unsigned i = 0; i < oi.numDst; ++i) {
+                    if (!seen[op.dst[i]])
+                        seen[op.dst[i]] =
+                            op.guard == vone ? 1 : 2;
+                }
+            }
+        };
+        for (const auto &op : blk.ops)
+            scan(op);
+        if (blk.hasTerminator)
+            scan(blk.terminator);
+        for (uint32_t v = 2; v < n; ++v) {
+            if (seen[v] == 1)
+                localizable[v] = true;
+        }
+    }
+
+    isGlobal.assign(n, false);
+    for (uint32_t v = 2; v < n; ++v) {
+        bool cross = def_block[v] == -3 || use_block[v] == -3 ||
+                     (use_block[v] >= 0 && def_block[v] >= 0 &&
+                      use_block[v] != def_block[v]);
+        bool local_var =
+            p.isVar[v] && !cross && p.pin[v] < 0 && localizable[v];
+        isGlobal[v] = (p.isVar[v] || p.pin[v] >= 0 || cross) &&
+                      !local_var;
+        if (!isGlobal[v] && !p.isVar[v] && use_block[v] >= 0 &&
+            def_block[v] == -2) {
+            fatal("vreg %u used but never defined", v);
+        }
+    }
+}
+
+void
+Compiler::allocateGlobals()
+{
+    archOf.assign(p.numVRegs, unassigned);
+    archUsedByGlobal.assign(numRegs, false);
+    archUsedByGlobal[regZero] = true;
+    archUsedByGlobal[regOne] = true;
+    archOf[vzero] = regZero;
+    archOf[vone] = regOne;
+
+    // Pinned registers first.
+    for (uint32_t v = 2; v < p.numVRegs; ++v) {
+        if (p.pin[v] >= 0) {
+            tm_assert(!archUsedByGlobal[size_t(p.pin[v])],
+                      "two vregs pinned to r%d", int(p.pin[v]));
+            archOf[v] = p.pin[v];
+            archUsedByGlobal[size_t(p.pin[v])] = true;
+        }
+    }
+    // Remaining globals bottom-up.
+    RegIndex next = 2;
+    for (uint32_t v = 2; v < p.numVRegs; ++v) {
+        if (!isGlobal[v] || archOf[v] != unassigned)
+            continue;
+        while (next < numRegs && archUsedByGlobal[next])
+            ++next;
+        if (next >= numRegs)
+            fatal("out of registers for global values");
+        archOf[v] = static_cast<int16_t>(next);
+        archUsedByGlobal[next] = true;
+    }
+}
+
+RegIndex
+Compiler::mapArch(VReg v, const std::map<VReg, RegIndex> &local_map) const
+{
+    if (archOf[v] != unassigned)
+        return static_cast<RegIndex>(archOf[v]);
+    auto it = local_map.find(v);
+    tm_assert(it != local_map.end(), "vreg %u has no register", v);
+    return it->second;
+}
+
+Operation
+Compiler::lowerOp(const TirOp &top,
+                  const std::map<VReg, RegIndex> &local_map) const
+{
+    const OpInfo &oi = opInfo(top.opc);
+    Operation op;
+    op.opc = top.opc;
+    op.guard = mapArch(top.guard, local_map);
+    op.imm = top.imm;
+    for (unsigned i = 0; i < 4; ++i) {
+        if (oi.readsSrc(i))
+            op.src[i] = mapArch(top.src[i], local_map);
+    }
+    if (oi.isStore) {
+        op.dst[0] = mapArch(top.dst[0], local_map);
+    } else {
+        for (unsigned i = 0; i < oi.numDst; ++i)
+            op.dst[i] = mapArch(top.dst[i], local_map);
+    }
+    return op;
+}
+
+void
+Compiler::scheduleBlock(const TirBlock &blk)
+{
+    // Try an unconstrained list schedule first; when the block-local
+    // register allocator runs out of registers (the scheduler hoisted
+    // too many long-lived temporaries), fall back to progressively
+    // narrower reordering windows, ending at pure in-order issue.
+    const size_t windows[] = {SIZE_MAX, 32, 8, 1};
+    for (size_t i = 0; i < std::size(windows); ++i) {
+        try {
+            scheduleBlockAttempt(blk, windows[i]);
+            return;
+        } catch (const FatalError &) {
+            if (i + 1 == std::size(windows))
+                throw;
+        }
+    }
+}
+
+void
+Compiler::scheduleBlockAttempt(const TirBlock &blk, size_t window)
+{
+    const size_t n = blk.ops.size();
+
+    struct Edge
+    {
+        int to;
+        int lat;
+    };
+    struct Node
+    {
+        std::vector<Edge> succs;
+        int npreds = 0;
+        int64_t est = 0;
+        int64_t prio = 0;
+        int tick = -1;
+        int slot = -1; ///< 0-based first slot
+    };
+    std::vector<Node> nodes(n);
+
+    auto addEdge = [&](int from, int to, int lat) {
+        if (from == to)
+            return;
+        nodes[size_t(from)].succs.push_back({to, lat});
+        ++nodes[size_t(to)].npreds;
+    };
+
+    // Dependence edges.
+    std::map<VReg, int> last_def;
+    std::map<VReg, std::vector<int>> readers;
+    int last_store = -1;
+    std::vector<int> loads_since_store;
+
+    for (size_t i = 0; i < n; ++i) {
+        const TirOp &op = blk.ops[i];
+        const OpInfo &oi = opInfo(op.opc);
+        if (!cfg.allowTm3270Ops && isTm3270Only(op.opc)) {
+            fatal("operation %s is not available on this target",
+                  std::string(oi.mnemonic).c_str());
+        }
+
+        forEachRead(op, [&](VReg r) {
+            auto it = last_def.find(r);
+            if (it != last_def.end()) {
+                addEdge(it->second, int(i),
+                        int(effLatency(blk.ops[size_t(it->second)])));
+            }
+            readers[r].push_back(int(i));
+        });
+        forEachDef(op, [&](VReg r) {
+            auto it = last_def.find(r);
+            if (it != last_def.end()) {
+                int prev_lat = int(effLatency(blk.ops[size_t(it->second)]));
+                int waw = std::max(1, prev_lat - int(effLatency(op)));
+                addEdge(it->second, int(i), waw);
+            }
+            for (int rd : readers[r]) {
+                if (rd != int(i))
+                    addEdge(rd, int(i), 0); // WAR: same tick allowed
+            }
+            readers[r].clear();
+            last_def[r] = int(i);
+        });
+
+        if (oi.isLoad) {
+            if (last_store >= 0)
+                addEdge(last_store, int(i), 1);
+            loads_since_store.push_back(int(i));
+        } else if (oi.isStore) {
+            if (last_store >= 0)
+                addEdge(last_store, int(i), 1);
+            for (int l : loads_since_store)
+                addEdge(l, int(i), 1);
+            loads_since_store.clear();
+            last_store = int(i);
+        }
+    }
+
+    // Critical-path priorities (edges go forward in program order).
+    for (size_t i = n; i-- > 0;) {
+        int64_t pr = int64_t(effLatency(blk.ops[i]));
+        for (const Edge &e : nodes[i].succs)
+            pr = std::max(pr, e.lat + nodes[size_t(e.to)].prio);
+        nodes[i].prio = pr;
+    }
+
+    // List scheduling.
+    struct TickRes
+    {
+        bool slotBusy[numSlots] = {false, false, false, false, false};
+        unsigned loads = 0;
+    };
+    std::vector<TickRes> res;
+    auto resAt = [&](size_t t) -> TickRes & {
+        if (t >= res.size())
+            res.resize(t + 1);
+        return res[t];
+    };
+
+    auto allowedFirstSlots = [&](const TirOp &op) -> uint8_t {
+        const OpInfo &oi = opInfo(op.opc);
+        if (oi.isTwoSlot)
+            return oi.slotMask; // first slot of the pair (2 or 4)
+        if (op.opc == Opcode::LD_FRAC8)
+            return oi.slotMask; // slot 5
+        if (oi.isLoad)
+            return cfg.loadSlotMask;
+        return oi.slotMask;
+    };
+
+    auto tryPlace = [&](size_t i, size_t t) -> bool {
+        const TirOp &op = blk.ops[i];
+        const OpInfo &oi = opInfo(op.opc);
+        TickRes &r = resAt(t);
+        if (oi.isLoad && r.loads >= cfg.maxLoadsPerInst)
+            return false;
+        uint8_t mask = allowedFirstSlots(op);
+        for (unsigned s = 0; s < numSlots; ++s) {
+            if (!(mask & slotBit(s + 1)) || r.slotBusy[s])
+                continue;
+            if (oi.isTwoSlot) {
+                if (s + 1 >= numSlots || r.slotBusy[s + 1])
+                    continue;
+                r.slotBusy[s + 1] = true;
+            }
+            r.slotBusy[s] = true;
+            if (oi.isLoad)
+                ++r.loads;
+            nodes[i].tick = int(t);
+            nodes[i].slot = int(s);
+            return true;
+        }
+        return false;
+    };
+
+    std::vector<int> preds_left(n);
+    for (size_t i = 0; i < n; ++i)
+        preds_left[i] = nodes[i].npreds;
+
+    size_t unscheduled = n;
+    for (size_t t = 0; unscheduled > 0; ++t) {
+        tm_assert(t < 100000 + 40 * n, "scheduler failed to converge");
+        // Candidates: ready operations whose earliest tick has come,
+        // restricted to a reordering window above the lowest
+        // unscheduled op (bounds register pressure on retries).
+        size_t min_unsched = n;
+        for (size_t i = 0; i < n; ++i) {
+            if (nodes[i].tick < 0) {
+                min_unsched = i;
+                break;
+            }
+        }
+        std::vector<size_t> cand;
+        for (size_t i = 0; i < n; ++i) {
+            if (window != SIZE_MAX && i > min_unsched + window)
+                break;
+            if (nodes[i].tick < 0 && preds_left[i] == 0 &&
+                nodes[i].est <= int64_t(t)) {
+                cand.push_back(i);
+            }
+        }
+        std::sort(cand.begin(), cand.end(), [&](size_t a, size_t b) {
+            unsigned sa = std::popcount(allowedFirstSlots(blk.ops[a]));
+            unsigned sb = std::popcount(allowedFirstSlots(blk.ops[b]));
+            if (sa != sb)
+                return sa < sb; // most slot-constrained first
+            if (nodes[a].prio != nodes[b].prio)
+                return nodes[a].prio > nodes[b].prio;
+            return a < b;
+        });
+        for (size_t i : cand) {
+            if (!tryPlace(i, t))
+                continue;
+            --unscheduled;
+            for (const Edge &e : nodes[i].succs) {
+                nodes[size_t(e.to)].est =
+                    std::max(nodes[size_t(e.to)].est,
+                             int64_t(t) + e.lat);
+                --preds_left[size_t(e.to)];
+            }
+        }
+    }
+
+    // Block length: every result commits by the end of its block.
+    size_t len_ops = 0;
+    for (size_t i = 0; i < n; ++i) {
+        len_ops = std::max(len_ops, size_t(nodes[i].tick) + 1);
+        bool has_def = false;
+        forEachDef(blk.ops[i], [&](VReg) { has_def = true; });
+        if (has_def) {
+            len_ops = std::max(len_ops, size_t(nodes[i].tick) +
+                                            effLatency(blk.ops[i]));
+        }
+    }
+
+    // Terminator placement.
+    size_t block_len = len_ops;
+    int term_tick = -1, term_slot = -1;
+    if (blk.hasTerminator) {
+        const TirOp &term = blk.terminator;
+        unsigned delay = term.opc == Opcode::HALT ? 0 : cfg.jumpDelaySlots;
+        int64_t est = 0;
+        forEachRead(term, [&](VReg r) {
+            auto it = last_def.find(r);
+            if (it != last_def.end()) {
+                est = std::max(est,
+                               int64_t(nodes[size_t(it->second)].tick) +
+                                   effLatency(blk.ops[size_t(it->second)]));
+            }
+        });
+        size_t tb = size_t(std::max<int64_t>(
+            est, int64_t(len_ops) - int64_t(delay)));
+        // Find a free branch slot (issue slots 2, 3 or 4).
+        for (;; ++tb) {
+            TickRes &r = resAt(tb);
+            bool placed = false;
+            for (unsigned s = 1; s <= 3 && !placed; ++s) {
+                if (!r.slotBusy[s]) {
+                    r.slotBusy[s] = true;
+                    term_tick = int(tb);
+                    term_slot = int(s);
+                    placed = true;
+                }
+            }
+            if (placed)
+                break;
+        }
+        block_len = size_t(term_tick) + delay + 1;
+        tm_assert(block_len >= len_ops, "branch placement shrank block");
+    }
+
+    // ---- Local register allocation -------------------------------------
+    struct Interval
+    {
+        VReg v;
+        int def;
+        int end;
+    };
+    std::vector<Interval> ivals;
+    std::map<VReg, size_t> ival_of;
+
+    auto noteUse = [&](VReg r, int t) {
+        if (archOf[r] != unassigned)
+            return;
+        auto it = ival_of.find(r);
+        tm_assert(it != ival_of.end(), "local vreg %u used before def", r);
+        ivals[it->second].end = std::max(ivals[it->second].end, t);
+    };
+    for (size_t i = 0; i < n; ++i) {
+        forEachDef(blk.ops[i], [&](VReg r) {
+            if (archOf[r] != unassigned)
+                return;
+            int def = nodes[i].tick;
+            int end = def + int(effLatency(blk.ops[i]));
+            auto it = ival_of.find(r);
+            if (it == ival_of.end()) {
+                ival_of[r] = ivals.size();
+                ivals.push_back({r, def, end});
+            } else {
+                // Localized multi-def variable: one merged interval.
+                Interval &iv = ivals[it->second];
+                iv.def = std::min(iv.def, def);
+                iv.end = std::max(iv.end, end);
+            }
+        });
+    }
+    for (size_t i = 0; i < n; ++i) {
+        forEachRead(blk.ops[i], [&](VReg r) { noteUse(r, nodes[i].tick); });
+    }
+    if (blk.hasTerminator) {
+        forEachRead(blk.terminator,
+                    [&](VReg r) { noteUse(r, term_tick); });
+    }
+
+    std::sort(ivals.begin(), ivals.end(), [](const auto &a, const auto &b) {
+        if (a.def != b.def)
+            return a.def < b.def;
+        return a.v < b.v;
+    });
+
+    std::set<RegIndex> free_pool;
+    for (unsigned r = 2; r < numRegs; ++r) {
+        if (!archUsedByGlobal[r])
+            free_pool.insert(static_cast<RegIndex>(r));
+    }
+    std::map<VReg, RegIndex> local_map;
+    std::multimap<int, RegIndex> active; ///< end tick -> reg
+    for (const Interval &iv : ivals) {
+        // Release registers whose interval ended at or before this def.
+        for (auto it = active.begin();
+             it != active.end() && it->first <= iv.def;) {
+            free_pool.insert(it->second);
+            it = active.erase(it);
+        }
+        if (free_pool.empty())
+            fatal("out of registers for block-local values");
+        RegIndex r = *free_pool.begin();
+        free_pool.erase(free_pool.begin());
+        local_map[iv.v] = r;
+        active.emplace(iv.end, r);
+    }
+
+    // ---- Materialize instructions ---------------------------------------
+    size_t base = insts.size();
+    insts.resize(base + block_len);
+    for (size_t i = 0; i < n; ++i) {
+        Operation op = lowerOp(blk.ops[i], local_map);
+        insts[base + size_t(nodes[i].tick)].slot[size_t(nodes[i].slot)] =
+            op;
+    }
+    if (blk.hasTerminator) {
+        Operation op = lowerOp(blk.terminator, local_map);
+        if (blk.terminator.targetBlock >= 0) {
+            branchFixups.emplace_back(
+                (base + size_t(term_tick)) * numSlots + size_t(term_slot),
+                blk.terminator.targetBlock);
+            // The immediate is patched after all blocks are laid out;
+            // store the target block id for now.
+            op.imm = blk.terminator.targetBlock;
+        }
+        insts[base + size_t(term_tick)].slot[size_t(term_slot)] = op;
+    }
+}
+
+CompiledProgram
+Compiler::run()
+{
+    classify();
+    allocateGlobals();
+
+    blockStart.clear();
+    for (const TirBlock &blk : p.blocks) {
+        blockStart.push_back(static_cast<uint32_t>(insts.size()));
+        scheduleBlock(blk);
+    }
+    blockStart.push_back(static_cast<uint32_t>(insts.size()));
+
+    // Resolve branch targets to instruction indices.
+    CompiledProgram cp;
+    cp.jumpTargets.assign(insts.size(), false);
+    for (auto &[flat, block] : branchFixups) {
+        size_t inst_idx = flat / numSlots;
+        size_t slot = flat % numSlots;
+        tm_assert(size_t(block) < p.blocks.size() + 0, "bad target block");
+        uint32_t target = blockStart[size_t(block)];
+        tm_assert(target < insts.size(),
+                  "branch to block %d falls off the program end", block);
+        insts[inst_idx].slot[slot].imm = int32_t(target);
+        cp.jumpTargets[target] = true;
+    }
+
+    cp.insts = std::move(insts);
+    cp.encoded = encodeProgram(cp.insts, cp.jumpTargets);
+    return cp;
+}
+
+} // namespace
+
+CompiledProgram
+compile(const TirProgram &prog, const SchedConfig &cfg)
+{
+    Compiler c(prog, cfg);
+    return c.run();
+}
+
+CompiledProgram
+compile(const TirProgram &prog, const MachineConfig &m)
+{
+    return compile(prog, SchedConfig::fromMachine(m));
+}
+
+} // namespace tm3270::tir

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * List scheduler, register allocator and lowering from TIR to encoded
+ * VLIW programs.
+ *
+ * The scheduler enforces the target's constraints:
+ *  - per-operation issue-slot masks (ALU everywhere, shifter in 1/4,
+ *    DSP-multiply in 2/3, branch in 2/3/4, ...);
+ *  - load slots and loads-per-instruction (TM3270: one load in slot 5;
+ *    TM3260: two loads in slots 4/5) — paper Table 6;
+ *  - two-slot operations occupy two neighboring slots (paper §2.2.1);
+ *  - operation latencies (dependent operations issue >= latency
+ *    cycles later; the pipeline is exposed, there are no interlocks);
+ *  - jump delay slots: a branch is followed by exactly N delay
+ *    instructions that architecturally execute (5 on the TM3270, 3 on
+ *    the TM3260); the scheduler fills them with independent work when
+ *    available;
+ *  - all results commit by the end of their block, so cross-block
+ *    values are always ready.
+ *
+ * Register allocation: variables and cross-block values receive
+ * dedicated architectural registers from r2 upward; block-local SSA
+ * temporaries are linear-scan allocated from the remaining pool. No
+ * spilling is implemented — the 128-entry register file is the point
+ * (paper §1); running out of registers is a fatal error.
+ */
+
+#ifndef TM3270_TIR_SCHEDULER_HH
+#define TM3270_TIR_SCHEDULER_HH
+
+#include <vector>
+
+#include "core/config.hh"
+#include "encode/encoder.hh"
+#include "tir/tir.hh"
+
+namespace tm3270::tir
+{
+
+/** Scheduling constraints derived from a machine configuration. */
+struct SchedConfig
+{
+    uint8_t loadSlotMask = 0x10;
+    unsigned maxLoadsPerInst = 1;
+    unsigned jumpDelaySlots = 5;
+    unsigned loadLatency = 4;
+    /** TM3270-only operations (SUPER_*, LD_FRAC8) allowed? */
+    bool allowTm3270Ops = true;
+
+    static SchedConfig fromMachine(const MachineConfig &m);
+};
+
+/** The compiled program: scheduled instructions plus the binary. */
+struct CompiledProgram
+{
+    std::vector<VliwInst> insts;
+    std::vector<bool> jumpTargets;
+    EncodedProgram encoded;
+
+    size_t numInsts() const { return insts.size(); }
+
+    /** Static operation count (two-slot operations count as 2). */
+    size_t numOps() const;
+};
+
+/** Schedule, allocate registers, lower and encode @p prog. */
+CompiledProgram compile(const TirProgram &prog, const SchedConfig &cfg);
+
+/** Convenience: compile for a machine configuration. */
+CompiledProgram compile(const TirProgram &prog, const MachineConfig &m);
+
+} // namespace tm3270::tir
+
+#endif // TM3270_TIR_SCHEDULER_HH

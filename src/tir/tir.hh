@@ -1,0 +1,69 @@
+/**
+ * @file
+ * TriMedia IR (TIR): the intermediate representation consumed by the
+ * list scheduler. The production TriMedia C compiler/scheduler is
+ * proprietary; TIR plus the scheduler in scheduler.hh is our
+ * substitution: workload kernels are written against the Builder API,
+ * scheduled under the target's slot/latency/delay-slot constraints,
+ * register-allocated onto r2..r127 and lowered to encoded VLIW
+ * programs.
+ *
+ * Virtual registers come in two flavors:
+ *  - SSA temporaries: defined exactly once, used only within (and
+ *    after) their defining block;
+ *  - variables (Builder::var): multiply-assignable, allocated a
+ *    dedicated architectural register for the whole program; used for
+ *    loop-carried values and cross-block communication.
+ */
+
+#ifndef TM3270_TIR_TIR_HH
+#define TM3270_TIR_TIR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/operation.hh"
+
+namespace tm3270::tir
+{
+
+/** Virtual register id. vzero = 0 and vone = 1 map to r0/r1. */
+using VReg = uint32_t;
+
+inline constexpr VReg vzero = 0;
+inline constexpr VReg vone = 1;
+
+/** One IR operation on virtual registers. */
+struct TirOp
+{
+    Opcode opc = Opcode::NOP;
+    VReg guard = vone;
+    std::array<VReg, 2> dst = {vzero, vzero};
+    std::array<VReg, 4> src = {vzero, vzero, vzero, vzero};
+    int32_t imm = 0;
+    int targetBlock = -1; ///< branch target (block id)
+};
+
+/** A basic block: straight-line ops plus an optional terminator. */
+struct TirBlock
+{
+    std::vector<TirOp> ops;
+    bool hasTerminator = false;
+    TirOp terminator; ///< JMPT/JMPF/JMPI/JMPR/HALT
+};
+
+/** A whole IR program. */
+struct TirProgram
+{
+    std::vector<TirBlock> blocks;
+    uint32_t numVRegs = 2;
+    /** Variable vregs (multi-def, globally allocated). */
+    std::vector<bool> isVar;
+    /** Pinned architectural register per vreg, or -1. */
+    std::vector<int16_t> pin;
+};
+
+} // namespace tm3270::tir
+
+#endif // TM3270_TIR_TIR_HH

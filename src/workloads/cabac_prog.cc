@@ -1,0 +1,265 @@
+#include "workloads/cabac_prog.hh"
+
+#include "isa/cabac_tables.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+#include "tir/builder.hh"
+
+namespace tm3270::workloads
+{
+
+namespace
+{
+
+using namespace cabac_layout;
+using tir::Builder;
+using tir::VReg;
+
+/**
+ * Shared prologue: returns (stream base, out pointer, bin counter,
+ * bit position) variables and leaves the builder in the loop block.
+ */
+struct LoopVars
+{
+    VReg sp, outp, bin, bitpos;
+    int loop, done;
+};
+
+LoopVars
+prologue(Builder &b, unsigned num_bins)
+{
+    LoopVars v;
+    v.sp = b.var();
+    v.outp = b.var();
+    v.bin = b.var();
+    v.bitpos = b.var();
+    b.assign(v.sp, b.imm32(int32_t(stream)));
+    b.assign(v.outp, b.imm32(int32_t(outBits)));
+    b.assign(v.bin, b.imm32(0));
+    b.assign(v.bitpos, b.imm32(9)); // 9 initialization bits consumed
+
+    v.loop = b.newBlock();
+    v.done = b.newBlock();
+    (void)num_bins;
+    return v;
+}
+
+void
+epilogue(Builder &b, const LoopVars &v, unsigned num_bins)
+{
+    // Loop control lives at the end of the loop body.
+    b.assign(v.bin, b.iaddi(v.bin, 1));
+    VReg more = b.iles(v.bin, b.imm32(int32_t(num_bins)));
+    b.assign(v.outp, b.iaddi(v.outp, 1));
+    b.jmpt(more, v.loop);
+
+    b.setBlock(v.done);
+    b.halt(v.bitpos);
+}
+
+/** Load the 32-bit stream window and the in-word bit position. */
+std::pair<VReg, VReg>
+streamWindow(Builder &b, const LoopVars &v)
+{
+    VReg byte_off = b.lsri(v.bitpos, 3);
+    VReg word = b.ld32r(v.sp, byte_off);
+    VReg in_word = b.iandi(v.bitpos, 7);
+    return {word, in_word};
+}
+
+tir::TirProgram
+buildOptimized(unsigned num_bins)
+{
+    Builder b;
+    LoopVars v = prologue(b, num_bins);
+
+    // (value, range) packed DUAL16, kept in a register across bins.
+    VReg vr = b.var();
+    VReg first = b.ld32d(b.imm32(int32_t(stream)), 0);
+    VReg value0 = b.lsr(first, b.imm32(23)); // first 9 bits
+    b.assign(vr, b.pack16lsb(value0, b.imm32(510)));
+
+    // Software-pipelined context fetch: the model state of the next
+    // bin loads while the current bin decodes; a same-context check
+    // forwards the freshly updated state when needed.
+    VReg seq_base = b.var(), ctx_base = b.var();
+    VReg ctx_addr = b.var(), sm = b.var();
+    b.assign(seq_base, b.imm32(int32_t(ctxSeq)));
+    b.assign(ctx_base, b.imm32(int32_t(ctxArray)));
+    VReg idx0 = b.ld8u(seq_base, 0);
+    b.assign(ctx_addr, b.iadd(ctx_base, b.asli(idx0, 2)));
+    b.assign(sm, b.ld32r(ctx_addr, b.zero()));
+    b.setBlock(0);
+    b.jmpi(v.loop);
+
+    b.setBlock(v.loop);
+    {
+        // Prefetch the next bin's context (independent of the chain).
+        VReg nidx = b.ld8u(b.iadd(seq_base, b.iaddi(v.bin, 1)));
+        VReg naddr = b.iadd(ctx_base, b.asli(nidx, 2));
+        VReg nsm = b.ld32r(naddr, b.zero());
+
+        auto [word, in_word] = streamWindow(b, v);
+
+        // The two-slot CABAC operations (paper Table 2).
+        auto [vr2, sm2] = b.superCabacCtx(vr, in_word, word, sm);
+        auto [pos2, bit] = b.superCabacStr(vr, in_word, sm);
+
+        b.st32r(sm2, ctx_addr, b.zero());
+        b.st8d(bit, v.outp, 0);
+        b.assign(v.bitpos, b.iadd(b.isub(v.bitpos, in_word), pos2));
+        b.assign(vr, vr2);
+        VReg same = b.ieql(naddr, ctx_addr);
+        b.assign(sm, nsm);
+        b.assign(sm, sm2, same); // forward the just-updated state
+        b.assign(ctx_addr, naddr);
+        epilogue(b, v, num_bins);
+    }
+    return b.take();
+}
+
+tir::TirProgram
+buildNonOptimized(unsigned num_bins)
+{
+    Builder b;
+    LoopVars v = prologue(b, num_bins);
+
+    VReg value = b.var();
+    VReg range = b.var();
+    VReg first = b.ld32d(b.imm32(int32_t(stream)), 0);
+    b.assign(value, b.lsr(first, b.imm32(23)));
+    b.assign(range, b.imm32(510));
+
+    VReg seq_base = b.var(), ctx_base = b.var();
+    VReg ctx_addr = b.var(), sm = b.var();
+    b.assign(seq_base, b.imm32(int32_t(ctxSeq)));
+    b.assign(ctx_base, b.imm32(int32_t(ctxArray)));
+    VReg idx0 = b.ld8u(seq_base, 0);
+    b.assign(ctx_addr, b.iadd(ctx_base, b.asli(idx0, 2)));
+    b.assign(sm, b.ld32r(ctx_addr, b.zero()));
+    b.setBlock(0);
+    b.jmpi(v.loop);
+
+    b.setBlock(v.loop);
+    {
+        // --- context maintenance (software-pipelined) ---------------
+        VReg nidx = b.ld8u(b.iadd(seq_base, b.iaddi(v.bin, 1)));
+        VReg naddr = b.iadd(ctx_base, b.asli(nidx, 2));
+        VReg nsm = b.ld32r(naddr, b.zero());
+        VReg state = b.lsri(sm, 16);
+        VReg mps = b.iandi(sm, 1);
+
+        // --- biari_decode_symbol (paper Fig. 2), plain operations ---
+        VReg q = b.iandi(b.lsri(range, 6), 3);
+        VReg lps_addr = b.iadd(b.iadd(b.imm32(int32_t(lpsTab)),
+                                      b.asli(state, 2)),
+                               q);
+        VReg rlps = b.ld8u(lps_addr, 0);
+        VReg temp = b.isub(range, rlps);
+        VReg is_mps = b.ilesu(value, temp);
+        VReg is_lps = b.ixor(is_mps, b.one());
+
+        // Guarded updates for the MPS/LPS paths.
+        b.assign(value, b.isub(value, temp), is_lps);
+        b.assign(range, temp, is_mps);
+        b.assign(range, rlps, is_lps);
+        VReg bit = b.var();
+        b.assign(bit, mps, is_mps);
+        b.assign(bit, b.ixor(mps, b.one()), is_lps);
+        VReg at_zero = b.ieqli(state, 0);
+        VReg flip = b.iand(is_lps, at_zero);
+        VReg mps2 = b.ixor(mps, flip);
+
+        // State transition through the in-memory tables.
+        VReg tab = b.var();
+        b.assign(tab, b.imm32(int32_t(mpsNext)), is_mps);
+        b.assign(tab, b.imm32(int32_t(lpsNext)), is_lps);
+        VReg state2 = b.ld8u(b.iadd(tab, state));
+
+        // --- renormalization (table-driven shift) -------------------
+        VReg shift = b.ld8u(b.iadd(b.imm32(int32_t(normTab)), range));
+        b.assign(range, b.asl(range, shift));
+        auto [word, in_word] = streamWindow(b, v);
+        VReg aligned = b.asl(word, in_word);
+        VReg newbits =
+            b.lsr(b.lsri(aligned, 1), b.isub(b.imm32(31), shift));
+        b.assign(value,
+                 b.iandi(b.ior(b.asl(value, shift), newbits), 0x3ff));
+        b.assign(v.bitpos, b.iadd(v.bitpos, shift));
+
+        // --- write-back and next-context forwarding -----------------
+        VReg sm2 = b.pack16lsb(state2, mps2);
+        b.st32r(sm2, ctx_addr, b.zero());
+        b.st8d(bit, v.outp, 0);
+        VReg same = b.ieql(naddr, ctx_addr);
+        b.assign(sm, nsm);
+        b.assign(sm, sm2, same);
+        b.assign(ctx_addr, naddr);
+        epilogue(b, v, num_bins);
+    }
+    return b.take();
+}
+
+} // namespace
+
+tir::TirProgram
+buildCabacDecode(unsigned num_bins, bool optimized)
+{
+    return optimized ? buildOptimized(num_bins)
+                     : buildNonOptimized(num_bins);
+}
+
+void
+stageCabacField(System &sys, const SyntheticField &field)
+{
+    sys.writeBytes(stream, field.stream.data(), field.stream.size());
+    {
+        // One guard byte: the software-pipelined decode loop preloads
+        // the context index of bin N before discovering the loop ends.
+        std::vector<uint8_t> seq = field.ctxSequence;
+        seq.push_back(0);
+        sys.writeBytes(ctxSeq, seq.data(), seq.size());
+    }
+    for (size_t i = 0; i < field.initCtx.size(); ++i) {
+        sys.poke32(ctxArray + Addr(4 * i),
+                   dual16(field.initCtx[i].state, field.initCtx[i].mps));
+    }
+    // LPS range table: 64 x 4 bytes.
+    std::vector<uint8_t> lps;
+    for (unsigned s = 0; s < 64; ++s) {
+        for (unsigned q = 0; q < 4; ++q)
+            lps.push_back(lpsRangeTable[s][q]);
+    }
+    sys.writeBytes(lpsTab, lps.data(), lps.size());
+    sys.writeBytes(mpsNext, mpsNextStateTable, 64);
+    sys.writeBytes(lpsNext, lpsNextStateTable, 64);
+    // Renormalization shift table.
+    std::vector<uint8_t> norm(512, 0);
+    for (unsigned r = 1; r < 512; ++r) {
+        unsigned s = 0;
+        while ((r << s) < 256)
+            ++s;
+        norm[r] = uint8_t(s);
+    }
+    sys.writeBytes(normTab, norm.data(), norm.size());
+    // Clear the output region.
+    std::vector<uint8_t> zero(field.bins.size(), 0xEE);
+    sys.writeBytes(outBits, zero.data(), zero.size());
+}
+
+bool
+verifyCabacBits(System &sys, const SyntheticField &field, std::string &err)
+{
+    std::vector<uint8_t> got(field.bins.size());
+    sys.readBytes(outBits, got.data(), got.size());
+    for (size_t i = 0; i < field.bins.size(); ++i) {
+        if (got[i] != field.bins[i]) {
+            err = strfmt("bin %zu: want %u got %u", i, field.bins[i],
+                         got[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace tm3270::workloads

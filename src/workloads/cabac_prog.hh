@@ -1,0 +1,53 @@
+/**
+ * @file
+ * TM3270 CABAC decoding programs (paper §2.2.3, Table 3): the complete
+ * per-bin decoding process — context fetch from memory, arithmetic
+ * decoding, renormalization with stream refill, context write-back and
+ * decoded-bit output — in two versions:
+ *
+ *  - non-optimized: biari_decode_symbol in plain TriMedia operations
+ *    (guarded selects, LPS-range/state-transition/renorm tables in
+ *    data memory);
+ *  - optimized: the arithmetic core replaced by the SUPER_CABAC_CTX /
+ *    SUPER_CABAC_STR two-slot operations.
+ *
+ * Both decode the same synthetic field bitstream and must produce
+ * bit-identical output, verified against the golden model.
+ */
+
+#ifndef TM3270_WORKLOADS_CABAC_PROG_HH
+#define TM3270_WORKLOADS_CABAC_PROG_HH
+
+#include "cabac/cabac.hh"
+#include "core/system.hh"
+#include "tir/tir.hh"
+
+namespace tm3270::workloads
+{
+
+/** Memory layout of the CABAC decode programs. */
+namespace cabac_layout
+{
+inline constexpr Addr stream = 0x00100000;
+inline constexpr Addr ctxSeq = 0x00200000;
+inline constexpr Addr ctxArray = 0x00300000; ///< 1 word per context
+inline constexpr Addr outBits = 0x00400000;
+inline constexpr Addr lpsTab = 0x00500000;   ///< 64 x 4 bytes
+inline constexpr Addr mpsNext = 0x00500100;  ///< 64 bytes
+inline constexpr Addr lpsNext = 0x00500140;  ///< 64 bytes
+inline constexpr Addr normTab = 0x00500200;  ///< 512 bytes
+} // namespace cabac_layout
+
+/** Build the decode program for @p num_bins bins. */
+tir::TirProgram buildCabacDecode(unsigned num_bins, bool optimized);
+
+/** Stage stream, context sequence, initial contexts and tables. */
+void stageCabacField(System &sys, const SyntheticField &field);
+
+/** Check the decoded bits written by the program. */
+bool verifyCabacBits(System &sys, const SyntheticField &field,
+                     std::string &err);
+
+} // namespace tm3270::workloads
+
+#endif // TM3270_WORKLOADS_CABAC_PROG_HH

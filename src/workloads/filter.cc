@@ -1,0 +1,116 @@
+/**
+ * @file
+ * "filter" kernel (EEMBC consumer suite style, paper Table 5): a
+ * 5-tap binomial low-pass FIR over 8-bit pixels, four outputs per
+ * iteration using word loads, funnel shifts and the ifir8ui dot
+ * product. Written in the TM3260-portable subset (aligned word loads
+ * only).
+ */
+
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace tm3270::workloads
+{
+
+namespace
+{
+
+constexpr Addr srcBase = 0x00100000;
+constexpr Addr dstBase = 0x00180000;
+constexpr unsigned numPixels = 32 * 1024;
+// Binomial taps {1, 4, 6, 4, 1}, normalized by >> 4.
+constexpr int taps[5] = {1, 4, 6, 4, 1};
+
+tir::TirProgram
+buildFilter()
+{
+    using namespace tir;
+    Builder b;
+    VReg src = b.var();
+    VReg dst = b.var();
+    VReg end = b.var();
+    VReg coef = b.var(); // taps 0..3 packed MSB-first
+    b.assign(src, b.imm32(int32_t(srcBase)));
+    b.assign(dst, b.imm32(int32_t(dstBase)));
+    b.assign(end, b.imm32(int32_t(dstBase + numPixels)));
+    b.assign(coef, b.imm32(taps[0] << 24 | taps[1] << 16 | taps[2] << 8 |
+                           taps[3]));
+
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+
+    b.setBlock(loop);
+    VReg cond = b.ilesu(b.iaddi(dst, 4), end);
+    // Load 8 input pixels covering outputs x .. x+3.
+    VReg w0 = b.ld32d(src, 0);
+    VReg w1 = b.ld32d(src, 4);
+    std::array<VReg, 4> win = {
+        w0,
+        b.funshift1(w0, w1),
+        b.funshift2(w0, w1),
+        b.funshift3(w0, w1),
+    };
+    std::array<VReg, 4> out;
+    for (int k = 0; k < 4; ++k) {
+        VReg dot = b.ifir8ui(win[size_t(k)], coef);
+        VReg tail = b.ubytesel(w1, b.imm32(3 - k)); // in[x+4+k]
+        VReg sum = b.iaddi(b.iadd(dot, tail), 8);
+        out[size_t(k)] = b.asri(sum, 4);
+    }
+    VReg o01 = b.emit(Opcode::PACKBYTES, out[0], out[1]);
+    VReg o23 = b.emit(Opcode::PACKBYTES, out[2], out[3]);
+    b.st32d(b.pack16lsb(o01, o23), dst, 0);
+    b.assign(src, b.iaddi(src, 4));
+    b.assign(dst, b.iaddi(dst, 4));
+    b.jmpt(cond, loop);
+
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(b.zero());
+    return b.take();
+}
+
+void
+referenceFilter(const uint8_t *in, uint8_t *out, size_t n)
+{
+    for (size_t x = 0; x < n; ++x) {
+        int sum = 8;
+        for (int k = 0; k < 5; ++k)
+            sum += taps[k] * in[x + size_t(k)];
+        out[x] = uint8_t(sum >> 4);
+    }
+}
+
+} // namespace
+
+Workload
+filterWorkload()
+{
+    Workload w;
+    w.name = "filter";
+    w.description = "5-tap FIR filter over 8-bit pixels (EEMBC style).";
+    w.build = buildFilter;
+    w.init = [](System &sys) {
+        fillRandom(sys, srcBase, numPixels + 8, 2);
+    };
+    w.verify = [](System &sys, std::string &err) {
+        std::vector<uint8_t> in(numPixels + 8), want(numPixels),
+            got(numPixels);
+        sys.readBytes(srcBase, in.data(), in.size());
+        referenceFilter(in.data(), want.data(), numPixels);
+        sys.readBytes(dstBase, got.data(), got.size());
+        for (size_t i = 0; i < numPixels; ++i) {
+            if (want[i] != got[i]) {
+                err = strfmt("pixel %zu: want %u got %u", i, want[i],
+                             got[i]);
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace tm3270::workloads

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared kernel-construction helpers: the portable (TM3260-safe)
+ * emulation of non-aligned word loads via aligned loads plus guarded
+ * funnel-shift selection. The TM3270's penalty-free non-aligned access
+ * makes this whole sequence a single load (paper §4.1).
+ */
+
+#ifndef TM3270_WORKLOADS_KERNEL_UTIL_HH
+#define TM3270_WORKLOADS_KERNEL_UTIL_HH
+
+#include "tir/builder.hh"
+
+namespace tm3270::workloads
+{
+
+/** Alignment guards for a (possibly unaligned) base pointer. */
+struct UnalignedCtx
+{
+    tir::VReg g0, g1, g2, g3; ///< alignment == 0..3 guards
+    tir::VReg pa;             ///< word-aligned base pointer
+};
+
+inline UnalignedCtx
+makeUnalignedCtx(tir::Builder &b, tir::VReg p)
+{
+    UnalignedCtx u;
+    tir::VReg al = b.iandi(p, 3);
+    u.g0 = b.ieqli(al, 0);
+    u.g1 = b.ieqli(al, 1);
+    u.g2 = b.ieqli(al, 2);
+    u.g3 = b.ieqli(al, 3);
+    u.pa = b.emit(Opcode::BITAND0, p, b.imm32(3));
+    return u;
+}
+
+/**
+ * 32-bit load at (p + off). With @p hw_unaligned the hardware path is
+ * emitted (one load); otherwise two aligned loads plus guarded
+ * funnel-shift selection reconstruct the word.
+ */
+inline tir::VReg
+loadWordMaybeUnaligned(tir::Builder &b, bool hw_unaligned, tir::VReg p,
+                       int32_t off, const UnalignedCtx &u)
+{
+    if (hw_unaligned)
+        return b.ld32d(p, off);
+    tir::VReg w0 = b.ld32d(u.pa, off);
+    tir::VReg w1 = b.ld32d(u.pa, off + 4);
+    // All shift variants are computed up front; the unguarded initial
+    // assignment re-defines the select variable on every pass, so the
+    // register allocator treats it as block-local.
+    tir::VReg f1 = b.funshift1(w0, w1);
+    tir::VReg f2 = b.funshift2(w0, w1);
+    tir::VReg f3 = b.funshift3(w0, w1);
+    tir::VReg w = b.var();
+    b.assign(w, w0);
+    b.assign(w, f1, u.g1);
+    b.assign(w, f2, u.g2);
+    b.assign(w, f3, u.g3);
+    return w;
+}
+
+} // namespace tm3270::workloads
+
+#endif // TM3270_WORKLOADS_KERNEL_UTIL_HH

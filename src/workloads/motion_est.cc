@@ -1,0 +1,381 @@
+#include "workloads/motion_est.hh"
+
+#include <random>
+
+#include "core/mmio.hh"
+#include "support/logging.hh"
+#include "tir/builder.hh"
+#include "workloads/kernel_util.hh"
+
+namespace tm3270::workloads
+{
+
+namespace
+{
+
+using namespace me_geom;
+using tir::Builder;
+using tir::VReg;
+
+constexpr unsigned candSpan = 2 * searchR + 1; // 9
+
+/** Blocks walk a diagonal so every search window is cold. */
+constexpr unsigned
+blockX(unsigned bi)
+{
+    return 16 + (bi % 12) * 40;
+}
+
+constexpr unsigned
+blockY(unsigned bi)
+{
+    return 16 + bi * 8;
+}
+
+VReg
+loadWord(Builder &b, const MeFlags &f, VReg p, int32_t off,
+         const UnalignedCtx &u)
+{
+    return loadWordMaybeUnaligned(b, f.unaligned, p, off, u);
+}
+
+tir::TirProgram
+buildKernel(const MeFlags &f)
+{
+    Builder b;
+    VReg bi = b.var();
+    VReg curp = b.var();
+    VReg outp = b.var();
+    VReg win0 = b.var(); ///< candidate (dy=0, dx=0) pointer of block
+    b.assign(bi, b.imm32(0));
+    b.assign(curp, b.imm32(int32_t(curBase)));
+    b.assign(outp, b.imm32(int32_t(outBase)));
+
+    if (f.prefetch) {
+        // Program PF0 over the reference frame with a one-row stride,
+        // via the memory-mapped prefetch registers (paper §2.3).
+        VReg mmio = b.imm32(int32_t(mmio_map::pfRegion));
+        b.st32d(b.imm32(int32_t(refBase)), mmio, 0);
+        b.st32d(b.imm32(int32_t(refBase + refW * refH)), mmio, 4);
+        b.st32d(b.imm32(int32_t(refW)), mmio, 8);
+    }
+
+    int block_loop = b.newBlock();
+    int cand_loop = b.newBlock();
+    int refine = b.newBlock();
+    int done = b.newBlock();
+
+    b.setBlock(0);
+    b.jmpi(block_loop);
+
+    // Per-block variables.
+    std::array<VReg, 16> cb; ///< current block, 2 words x 8 rows
+    for (auto &v : cb)
+        v = b.var();
+    VReg row_base = b.var(); ///< candidate row base (advances by W)
+    VReg dx = b.var();
+    VReg cand = b.var(); ///< candidate pointer = row_base + dx
+    VReg cidx = b.var();
+    VReg best_sad = b.var();
+    VReg best_idx = b.var();
+    VReg best_p = b.var();
+
+    b.setBlock(block_loop);
+    {
+        // Load the current block into registers.
+        for (unsigned r = 0; r < blockSize; ++r) {
+            for (unsigned w = 0; w < 2; ++w) {
+                b.assign(cb[2 * r + w],
+                         b.ld32d(curp, int32_t(r * 8 + w * 4)));
+            }
+        }
+        // win0 = &ref[blockY(bi) - R][blockX(bi) - R]
+        // x = 16 + (bi % 12) * 40; y = 16 + bi * 8.
+        VReg bim = b.var();
+        // bi % 12 via multiply-shift division (bi < 4096).
+        b.assign(bim, b.lsri(b.imul(bi, b.imm32(0x5556)), 18));
+        VReg bx = b.iadd(b.imm32(int32_t(blockX(0))),
+                         b.imul(b.isub(bi, b.imul(bim, b.imm32(12))),
+                                b.imm32(40)));
+        VReg by = b.iaddi(b.asli(bi, 3), int32_t(blockY(0)));
+        VReg base = b.imm32(
+            int32_t(refBase - searchR * refW - searchR));
+        VReg w0p = b.iadd(b.iadd(base, b.asli(by, 9)), bx);
+        b.assign(win0, w0p);
+        b.assign(row_base, w0p);
+        b.assign(dx, b.imm32(0));
+        b.assign(cand, w0p);
+        b.assign(cidx, b.imm32(0));
+        b.assign(best_sad, b.imm32(0x7FFFFFFF));
+        b.assign(best_idx, b.imm32(0));
+        b.assign(best_p, w0p);
+        b.jmpi(cand_loop);
+    }
+
+    b.setBlock(cand_loop);
+    {
+        // Three candidates per iteration: amortizes the load-use
+        // latency chain and the jump delay slots across independent
+        // SAD computations (the scheduler interleaves them).
+        for (unsigned k = 0; k < 3; ++k) {
+            VReg ck = k ? b.iaddi(cand, int32_t(k)) : cand;
+            UnalignedCtx u = makeUnalignedCtx(b, ck);
+            VReg acc0 = b.var(), acc1 = b.var();
+            b.assign(acc0, b.imm32(0));
+            b.assign(acc1, b.imm32(0));
+            VReg rp = ck;
+            for (unsigned r = 0; r < blockSize; ++r) {
+                if (r > 0) {
+                    rp = b.iaddi(rp, int32_t(refW));
+                    if (!f.unaligned)
+                        u.pa = b.iaddi(u.pa, int32_t(refW));
+                }
+                for (unsigned w = 0; w < 2; ++w) {
+                    VReg rw = loadWord(b, f, rp, int32_t(w * 4), u);
+                    VReg a = w == 0 ? acc0 : acc1;
+                    b.assign(a, b.iadd(a, b.ume8uu(rw, cb[2 * r + w])));
+                }
+            }
+            VReg acc = b.iadd(acc0, acc1);
+            // Strict-less keeps the first (lowest index) winner.
+            VReg better = b.ilesu(acc, best_sad);
+            b.assign(best_sad, acc, better);
+            b.assign(best_idx, k ? b.iaddi(cidx, int32_t(k)) : cidx,
+                     better);
+            b.assign(best_p, ck, better);
+        }
+
+        // Advance to the next candidate triple (row-major).
+        b.assign(cidx, b.iaddi(cidx, 3));
+        b.assign(dx, b.iaddi(dx, 3));
+        VReg row_done = b.ieqli(dx, int32_t(candSpan));
+        b.assign(dx, b.imm32(0), row_done);
+        b.assign(row_base, b.iaddi(row_base, int32_t(refW)), row_done);
+        b.assign(cand, b.iadd(row_base, dx));
+        VReg cont = b.ilesi(cidx, int32_t(candSpan * candSpan));
+        b.jmpt(cont, cand_loop);
+    }
+
+    b.setBlock(refine);
+    {
+        // Half-pel refinement around the winner: left, right, vertical
+        // and diagonal half-pel positions (frac = 8; paper [12]).
+        // Vertical and diagonal positions average adjacent rows, so
+        // nine rows of interpolated/center words are produced.
+        VReg accl = b.var(), accr = b.var(), accv = b.var(),
+             accd = b.var();
+        for (VReg a : {accl, accr, accv, accd})
+            b.assign(a, b.imm32(0));
+        VReg pl = b.iaddi(best_p, -1);
+        VReg pr = b.iaddi(best_p, 1);
+        UnalignedCtx ul = makeUnalignedCtx(b, pl);
+        UnalignedCtx uc = makeUnalignedCtx(b, best_p);
+        UnalignedCtx ur = makeUnalignedCtx(b, pr);
+        VReg rpl = pl, rpc = best_p, rpr = pr;
+        std::array<VReg, 2> hr_prev = {0, 0}, wc_prev = {0, 0};
+        for (unsigned r = 0; r <= blockSize; ++r) {
+            if (r > 0) {
+                if (f.fracLoad || f.unaligned) {
+                    rpl = b.iaddi(rpl, int32_t(refW));
+                    rpc = b.iaddi(rpc, int32_t(refW));
+                }
+                if (!f.fracLoad) {
+                    if (f.unaligned) {
+                        rpr = b.iaddi(rpr, int32_t(refW));
+                    } else {
+                        ul.pa = b.iaddi(ul.pa, int32_t(refW));
+                        uc.pa = b.iaddi(uc.pa, int32_t(refW));
+                        ur.pa = b.iaddi(ur.pa, int32_t(refW));
+                    }
+                }
+            }
+            for (unsigned w = 0; w < 2; ++w) {
+                int32_t off = int32_t(w * 4);
+                VReg hl = 0, hr, wc;
+                if (f.fracLoad) {
+                    if (r < blockSize) {
+                        hl = b.ldFrac8(off ? b.iaddi(rpl, off) : rpl,
+                                       b.imm32(8));
+                    }
+                    hr = b.ldFrac8(off ? b.iaddi(rpc, off) : rpc,
+                                   b.imm32(8));
+                    wc = b.ld32d(rpc, off);
+                } else {
+                    VReg wl = 0;
+                    if (r < blockSize)
+                        wl = loadWord(b, f, rpl, off, ul);
+                    wc = loadWord(b, f, rpc, off, uc);
+                    VReg wr = loadWord(b, f, rpr, off, ur);
+                    if (r < blockSize)
+                        hl = b.quadavg(wl, wc);
+                    hr = b.quadavg(wc, wr);
+                }
+                if (r < blockSize) {
+                    VReg c = cb[2 * r + w];
+                    b.assign(accl, b.iadd(accl, b.ume8uu(hl, c)));
+                    b.assign(accr, b.iadd(accr, b.ume8uu(hr, c)));
+                }
+                if (r > 0) {
+                    VReg c = cb[2 * (r - 1) + w];
+                    VReg hv = b.quadavg(wc_prev[w], wc);
+                    VReg hd = b.quadavg(hr_prev[w], hr);
+                    b.assign(accv, b.iadd(accv, b.ume8uu(hv, c)));
+                    b.assign(accd, b.iadd(accd, b.ume8uu(hd, c)));
+                }
+                hr_prev[w] = hr;
+                wc_prev[w] = wc;
+            }
+        }
+        b.st32d(best_idx, outp, 0);
+        b.st32d(best_sad, outp, 4);
+        b.st32d(accl, outp, 8);
+        b.st32d(accr, outp, 12);
+        b.st32d(accv, outp, 16);
+        b.st32d(accd, outp, 20);
+
+        b.assign(bi, b.iaddi(bi, 1));
+        b.assign(curp, b.iaddi(curp, 64));
+        b.assign(outp, b.iaddi(outp, 24));
+        VReg more = b.ilesi(bi, int32_t(numBlocks));
+        b.jmpt(more, block_loop);
+    }
+
+    b.setBlock(done);
+    b.halt(b.zero());
+    return b.take();
+}
+
+/** Deterministic frame content. */
+std::vector<uint8_t>
+makeRef(uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<uint8_t> ref(refW * refH);
+    for (auto &v : ref)
+        v = uint8_t(rng());
+    return ref;
+}
+
+std::vector<uint8_t>
+makeCur(const std::vector<uint8_t> &ref, uint64_t seed)
+{
+    // Current blocks are displaced, noisy copies of reference content
+    // so the search has a meaningful winner.
+    std::mt19937_64 rng(seed ^ 0x5555);
+    std::vector<uint8_t> cur(numBlocks * 64);
+    for (unsigned bi = 0; bi < numBlocks; ++bi) {
+        int dx = int(rng() % candSpan) - int(searchR);
+        int dy = int(rng() % candSpan) - int(searchR);
+        for (unsigned r = 0; r < blockSize; ++r) {
+            for (unsigned c = 0; c < blockSize; ++c) {
+                size_t src =
+                    size_t((int(blockY(bi)) + dy + int(r)) * int(refW) +
+                           int(blockX(bi)) + dx + int(c));
+                int noise = int(rng() % 9) - 4;
+                cur[bi * 64 + r * 8 + c] =
+                    uint8_t(std::clamp(int(ref[src]) + noise, 0, 255));
+            }
+        }
+    }
+    return cur;
+}
+
+} // namespace
+
+tir::TirProgram
+buildMotionEstimation(const MeFlags &flags)
+{
+    return buildKernel(flags);
+}
+
+void
+stageMotionEstimation(System &sys, uint64_t seed)
+{
+    auto ref = makeRef(seed);
+    auto cur = makeCur(ref, seed);
+    sys.writeBytes(refBase, ref.data(), ref.size());
+    sys.writeBytes(curBase, cur.data(), cur.size());
+}
+
+std::vector<MeResult>
+referenceMotionEstimation(uint64_t seed)
+{
+    auto ref = makeRef(seed);
+    auto cur = makeCur(ref, seed);
+    std::vector<MeResult> out;
+
+    auto pel = [&](size_t idx) { return int(ref[idx]); };
+    auto half = [&](size_t idx) {
+        return (pel(idx) + pel(idx + 1) + 1) >> 1;
+    };
+
+    for (unsigned bi = 0; bi < numBlocks; ++bi) {
+        const uint8_t *cb = cur.data() + bi * 64;
+        size_t win0 =
+            (blockY(bi) - searchR) * refW + blockX(bi) - searchR;
+        MeResult r{0, 0xFFFFFFFF, 0, 0, 0, 0};
+        size_t best = win0;
+        for (unsigned c = 0; c < candSpan * candSpan; ++c) {
+            size_t p = win0 + (c / candSpan) * refW + (c % candSpan);
+            uint32_t sad = 0;
+            for (unsigned rr = 0; rr < blockSize; ++rr) {
+                for (unsigned cc = 0; cc < blockSize; ++cc) {
+                    sad += uint32_t(
+                        std::abs(pel(p + rr * refW + cc) -
+                                 int(cb[rr * 8 + cc])));
+                }
+            }
+            if (sad < r.bestSad) {
+                r.bestSad = sad;
+                r.bestIdx = c;
+                best = p;
+            }
+        }
+        uint32_t sl = 0, sr = 0, sv = 0, sd = 0;
+        for (unsigned rr = 0; rr < blockSize; ++rr) {
+            for (unsigned cc = 0; cc < blockSize; ++cc) {
+                int cv = int(cb[rr * 8 + cc]);
+                size_t p = best + rr * refW + cc;
+                sl += uint32_t(std::abs(half(p - 1) - cv));
+                sr += uint32_t(std::abs(half(p) - cv));
+                sv += uint32_t(std::abs(
+                    ((pel(p) + pel(p + refW) + 1) >> 1) - cv));
+                sd += uint32_t(std::abs(
+                    ((half(p) + half(p + refW) + 1) >> 1) - cv));
+            }
+        }
+        r.halfSadL = sl;
+        r.halfSadR = sr;
+        r.halfSadV = sv;
+        r.halfSadD = sd;
+        out.push_back(r);
+    }
+    return out;
+}
+
+bool
+verifyMotionEstimation(System &sys, uint64_t seed, std::string &err)
+{
+    auto want = referenceMotionEstimation(seed);
+    for (unsigned bi = 0; bi < numBlocks; ++bi) {
+        Addr base = outBase + bi * 24;
+        MeResult got{sys.peek32(base),      sys.peek32(base + 4),
+                     sys.peek32(base + 8),  sys.peek32(base + 12),
+                     sys.peek32(base + 16), sys.peek32(base + 20)};
+        const MeResult &w = want[bi];
+        if (got.bestIdx != w.bestIdx || got.bestSad != w.bestSad ||
+            got.halfSadL != w.halfSadL || got.halfSadR != w.halfSadR ||
+            got.halfSadV != w.halfSadV || got.halfSadD != w.halfSadD) {
+            err = strfmt("block %u: want (%u,%u,%u,%u,%u,%u) got "
+                         "(%u,%u,%u,%u,%u,%u)",
+                         bi, w.bestIdx, w.bestSad, w.halfSadL,
+                         w.halfSadR, w.halfSadV, w.halfSadD, got.bestIdx,
+                         got.bestSad, got.halfSadL, got.halfSadR,
+                         got.halfSadV, got.halfSadD);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace tm3270::workloads

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Motion estimation kernel (paper §6 / reference [12]): full-search
+ * SAD block matching plus half-pel refinement. Build-time feature
+ * flags select the TM3270-specific optimizations whose combined gain
+ * the paper reports as more than 2x:
+ *
+ *  - unaligned: penalty-free non-aligned loads instead of the aligned
+ *    load + guarded funnel-shift selection sequence;
+ *  - fracLoad: LD_FRAC8 collapsed loads for half-pel interpolation
+ *    instead of two loads + quadavg;
+ *  - prefetch: a region prefetcher programmed over the reference
+ *    window.
+ */
+
+#ifndef TM3270_WORKLOADS_MOTION_EST_HH
+#define TM3270_WORKLOADS_MOTION_EST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "tir/tir.hh"
+
+namespace tm3270::workloads
+{
+
+/** Kernel feature selection. */
+struct MeFlags
+{
+    bool unaligned = false;
+    bool fracLoad = false;
+    bool prefetch = false;
+};
+
+/** Geometry of the motion-estimation experiment. */
+namespace me_geom
+{
+inline constexpr unsigned refW = 512;
+inline constexpr unsigned refH = 256;
+inline constexpr unsigned blockSize = 8;
+inline constexpr unsigned numBlocks = 24;
+inline constexpr unsigned searchR = 4; ///< +/- pixels, 9x9 candidates
+inline constexpr Addr refBase = 0x00100000;
+inline constexpr Addr curBase = 0x00140000;
+inline constexpr Addr outBase = 0x00180000; ///< 6 words per block
+} // namespace me_geom
+
+/** Per-block result record (matches the kernel's output words). */
+struct MeResult
+{
+    uint32_t bestIdx;   ///< winning candidate index (dy * 9 + dx)
+    uint32_t bestSad;
+    uint32_t halfSadL;  ///< half-pel SAD left of the winner
+    uint32_t halfSadR;  ///< half-pel SAD right of the winner
+    uint32_t halfSadV;  ///< half-pel SAD below (vertical)
+    uint32_t halfSadD;  ///< half-pel SAD diagonal (right-down)
+};
+
+/** Build the kernel. */
+tir::TirProgram buildMotionEstimation(const MeFlags &flags);
+
+/** Stage reference frame and current blocks. */
+void stageMotionEstimation(System &sys, uint64_t seed);
+
+/** Host reference search (bit-exact against the kernel). */
+std::vector<MeResult> referenceMotionEstimation(uint64_t seed);
+
+/** Verify the kernel's output records. */
+bool verifyMotionEstimation(System &sys, uint64_t seed, std::string &err);
+
+} // namespace tm3270::workloads
+
+#endif // TM3270_WORKLOADS_MOTION_EST_HH

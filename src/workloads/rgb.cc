@@ -1,0 +1,233 @@
+/**
+ * @file
+ * EEMBC-consumer-style color conversion kernels (paper Table 5):
+ * rgb2yuv, rgb2cmyk and rgb2yiq. Input is RGBX (4 bytes per pixel);
+ * yuv/yiq outputs are planar bytes, cmyk output is packed words. The
+ * matrix kernels use the ifir8ui byte dot product with coefficient
+ * words held in registers.
+ */
+
+#include "support/logging.hh"
+#include "support/saturate.hh"
+#include "workloads/workload.hh"
+
+namespace tm3270::workloads
+{
+
+namespace
+{
+
+constexpr Addr srcBase = 0x00100000;
+constexpr Addr out0 = 0x00200000; // Y / C plane (cmyk packs all here)
+constexpr Addr out1 = 0x00240000; // U / I plane
+constexpr Addr out2 = 0x00280000; // V / Q plane
+constexpr unsigned numPixels = 16 * 1024;
+
+/** Coefficients scaled by 128 (>> 7), all within signed 8-bit. */
+struct Matrix
+{
+    int c[3][3];
+    int bias[3]; ///< added after the shift
+};
+
+constexpr Matrix yuvMatrix = {
+    {{33, 65, 13}, {-19, -37, 56}, {56, -47, -9}},
+    {0, 128, 128},
+};
+
+constexpr Matrix yiqMatrix = {
+    {{38, 75, 15}, {76, -35, -41}, {27, -67, 40}},
+    {0, 128, 128},
+};
+
+/** Pack one matrix row as an ifir8ui coefficient word (RGBX layout:
+ *  R in the most significant byte, X unused). */
+constexpr int32_t
+coefWord(const int *row)
+{
+    return int32_t((uint32_t(uint8_t(row[0])) << 24) |
+                   (uint32_t(uint8_t(row[1])) << 16) |
+                   (uint32_t(uint8_t(row[2])) << 8));
+}
+
+tir::TirProgram
+buildMatrixKernel(const Matrix &m)
+{
+    using namespace tir;
+    Builder b;
+    VReg src = b.var(), d0 = b.var(), d1 = b.var(), d2 = b.var();
+    VReg end = b.var();
+    VReg c0 = b.var(), c1 = b.var(), c2 = b.var();
+    b.assign(src, b.imm32(int32_t(srcBase)));
+    b.assign(d0, b.imm32(int32_t(out0)));
+    b.assign(d1, b.imm32(int32_t(out1)));
+    b.assign(d2, b.imm32(int32_t(out2)));
+    b.assign(end, b.imm32(int32_t(out0 + numPixels)));
+    b.assign(c0, b.imm32(coefWord(m.c[0])));
+    b.assign(c1, b.imm32(coefWord(m.c[1])));
+    b.assign(c2, b.imm32(coefWord(m.c[2])));
+
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+
+    b.setBlock(loop);
+    VReg cond = b.ilesu(b.iaddi(d0, 2), end);
+    // Two pixels per iteration for ILP.
+    for (int px = 0; px < 2; ++px) {
+        VReg pix = b.ld32d(src, px * 4);
+        VReg coefs[3] = {c0, c1, c2};
+        VReg dsts[3] = {d0, d1, d2};
+        for (int ch = 0; ch < 3; ++ch) {
+            VReg dot = b.ifir8ui(pix, coefs[ch]);
+            VReg v = b.iaddi(b.asri(b.iaddi(dot, 64), 7), m.bias[ch]);
+            VReg clipped = b.uclipi(v, b.imm32(255));
+            b.st8d(clipped, dsts[ch], px);
+        }
+    }
+    b.assign(src, b.iaddi(src, 8));
+    b.assign(d0, b.iaddi(d0, 2));
+    b.assign(d1, b.iaddi(d1, 2));
+    b.assign(d2, b.iaddi(d2, 2));
+    b.jmpt(cond, loop);
+
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(b.zero());
+    return b.take();
+}
+
+tir::TirProgram
+buildCmyk()
+{
+    using namespace tir;
+    Builder b;
+    VReg src = b.var(), dst = b.var(), end = b.var(), ones = b.var();
+    b.assign(src, b.imm32(int32_t(srcBase)));
+    b.assign(dst, b.imm32(int32_t(out0)));
+    b.assign(end, b.imm32(int32_t(srcBase + numPixels * 4)));
+    b.assign(ones, b.imm32(int32_t(0xFFFFFF00u)));
+
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+
+    b.setBlock(loop);
+    VReg cond = b.ilesu(b.iaddi(src, 4), end);
+    VReg pix = b.ld32d(src, 0);
+    // inv = [255-R, 255-G, 255-B, 0] per byte.
+    VReg inv = b.emit(Opcode::QUADSUB, ones, pix);
+    VReg c = b.ubytesel(inv, b.imm32(3));
+    VReg mg = b.ubytesel(inv, b.imm32(2));
+    VReg y = b.ubytesel(inv, b.imm32(1));
+    VReg k = b.imin(b.imin(c, mg), y);
+    VReg cc = b.isub(c, k);
+    VReg mm = b.isub(mg, k);
+    VReg yy = b.isub(y, k);
+    VReg cm = b.emit(Opcode::PACKBYTES, cc, mm);
+    VReg yk = b.emit(Opcode::PACKBYTES, yy, k);
+    b.st32d(b.pack16lsb(cm, yk), dst, 0);
+    b.assign(src, b.iaddi(src, 4));
+    b.assign(dst, b.iaddi(dst, 4));
+    b.jmpt(cond, loop);
+
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(b.zero());
+    return b.take();
+}
+
+void
+referenceMatrix(const Matrix &m, const uint8_t *rgbx, uint8_t *p0,
+                uint8_t *p1, uint8_t *p2, size_t n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        int r = rgbx[4 * i], g = rgbx[4 * i + 1], bb = rgbx[4 * i + 2];
+        uint8_t *out[3] = {p0, p1, p2};
+        for (int ch = 0; ch < 3; ++ch) {
+            int v = ((m.c[ch][0] * r + m.c[ch][1] * g + m.c[ch][2] * bb +
+                      64) >>
+                     7) +
+                    m.bias[ch];
+            out[ch][i] = uint8_t(clipRange(v, 0, 255));
+        }
+    }
+}
+
+Workload
+matrixWorkload(const char *name, const Matrix &m)
+{
+    Workload w;
+    w.name = name;
+    w.description = "RGB color-space conversion (EEMBC style).";
+    w.build = [&m] { return buildMatrixKernel(m); };
+    w.init = [](System &sys) {
+        fillRandom(sys, srcBase, numPixels * 4, 3);
+    };
+    w.verify = [&m](System &sys, std::string &err) {
+        std::vector<uint8_t> in(numPixels * 4);
+        sys.readBytes(srcBase, in.data(), in.size());
+        std::vector<uint8_t> w0(numPixels), w1(numPixels), w2(numPixels);
+        referenceMatrix(m, in.data(), w0.data(), w1.data(), w2.data(),
+                        numPixels);
+        std::vector<uint8_t> g0(numPixels), g1(numPixels), g2(numPixels);
+        sys.readBytes(out0, g0.data(), numPixels);
+        sys.readBytes(out1, g1.data(), numPixels);
+        sys.readBytes(out2, g2.data(), numPixels);
+        if (w0 != g0 || w1 != g1 || w2 != g2) {
+            err = "converted planes differ from reference";
+            return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace
+
+Workload
+rgb2yuvWorkload()
+{
+    return matrixWorkload("rgb2yuv", yuvMatrix);
+}
+
+Workload
+rgb2yiqWorkload()
+{
+    return matrixWorkload("rgb2yiq", yiqMatrix);
+}
+
+Workload
+rgb2cmykWorkload()
+{
+    Workload w;
+    w.name = "rgb2cmyk";
+    w.description = "RGB to CMYK conversion (EEMBC style).";
+    w.build = buildCmyk;
+    w.init = [](System &sys) {
+        fillRandom(sys, srcBase, numPixels * 4, 4);
+    };
+    w.verify = [](System &sys, std::string &err) {
+        std::vector<uint8_t> in(numPixels * 4), got(numPixels * 4);
+        sys.readBytes(srcBase, in.data(), in.size());
+        sys.readBytes(out0, got.data(), got.size());
+        for (size_t i = 0; i < numPixels; ++i) {
+            int c = 255 - in[4 * i], m = 255 - in[4 * i + 1],
+                y = 255 - in[4 * i + 2];
+            int k = std::min(c, std::min(m, y));
+            uint8_t want[4] = {uint8_t(c - k), uint8_t(m - k),
+                               uint8_t(y - k), uint8_t(k)};
+            for (int j = 0; j < 4; ++j) {
+                if (got[4 * i + size_t(j)] != want[j]) {
+                    err = strfmt("pixel %zu ch %d: want %u got %u", i, j,
+                                 want[j], got[4 * i + size_t(j)]);
+                    return false;
+                }
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace tm3270::workloads

@@ -1,0 +1,219 @@
+#include "workloads/texture.hh"
+
+#include <random>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+#include "support/saturate.hh"
+#include "tir/builder.hh"
+
+namespace tm3270::workloads
+{
+
+namespace
+{
+
+using namespace texture_geom;
+using tir::Builder;
+using tir::VReg;
+
+// Stage coefficients and the quantization scale (dual-16, same value
+// in both lanes).
+constexpr int c1s1 = 54, c2s1 = 31; // stage 1 butterfly
+// Stage 2 coefficients carry the quantization scale (folded in, as a
+// production pipeline would).
+constexpr int c1s2 = 45 * 23, c2s2 = 27 * 23;
+
+constexpr Word
+lane2(int v)
+{
+    return dual16(Word(uint16_t(v)), Word(uint16_t(v)));
+}
+
+/** Butterfly outputs (u*c1 + v*c2, u*c2 - v*c1), clipped to 16 bits
+ *  per packed lane and repacked. */
+struct Bfly
+{
+    VReg y0, y1;
+};
+
+Bfly
+butterfly(Builder &b, bool two_slot, VReg u, VReg v, int c1, int c2,
+          VReg c1r, VReg c2r, VReg nc1r, VReg clipMax)
+{
+    (void)c1;
+    (void)c2;
+    Bfly out;
+    (void)clipMax;
+    if (two_slot) {
+        auto [h0, l0] = b.superDualimix(u, c1r, v, c2r);
+        auto [h1, l1] = b.superDualimix(u, c2r, v, nc1r);
+        out.y0 = b.dspidualpack(h0, l0);
+        out.y1 = b.dspidualpack(h1, l1);
+        return out;
+    }
+    // Scalar path: unpack lanes, multiply, recombine.
+    VReg uh = b.asri(u, 16), ul = b.sex16(u);
+    VReg vh = b.asri(v, 16), vl = b.sex16(v);
+    VReg c1v = b.sex16(c1r), c2v = b.sex16(c2r);
+    auto mac = [&](VReg a, VReg bb, VReg ca, VReg cb) {
+        return b.iadd(b.imul(a, ca), b.imul(bb, cb));
+    };
+    auto msub = [&](VReg a, VReg bb, VReg ca, VReg cb) {
+        return b.isub(b.imul(a, ca), b.imul(bb, cb));
+    };
+    out.y0 = b.dspidualpack(mac(uh, vh, c1v, c2v),
+                            mac(ul, vl, c1v, c2v));
+    out.y1 = b.dspidualpack(msub(uh, vh, c2v, c1v),
+                            msub(ul, vl, c2v, c1v));
+    return out;
+}
+
+tir::TirProgram
+buildKernel(bool two_slot)
+{
+    Builder b;
+    VReg in = b.var(), out = b.var(), end = b.var();
+    VReg c1a = b.var(), c2a = b.var(), nc1a = b.var();
+    VReg c1b = b.var(), c2b = b.var(), nc1b = b.var();
+    VReg clipMax = b.var();
+    b.assign(in, b.imm32(int32_t(inBase)));
+    b.assign(out, b.imm32(int32_t(outBase)));
+    b.assign(end, b.imm32(int32_t(inBase + numRows * 32)));
+    b.assign(c1a, b.imm32(int32_t(lane2(c1s1))));
+    b.assign(c2a, b.imm32(int32_t(lane2(c2s1))));
+    b.assign(nc1a, b.imm32(int32_t(lane2(-c1s1))));
+    b.assign(c1b, b.imm32(int32_t(lane2(c1s2))));
+    b.assign(c2b, b.imm32(int32_t(lane2(c2s2))));
+    b.assign(nc1b, b.imm32(int32_t(lane2(-c1s2))));
+    b.assign(clipMax, b.imm32(32767));
+
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+
+    b.setBlock(loop);
+    {
+        // Two rows per iteration: independent butterfly networks fill
+        // the issue slots and hide the operation latencies.
+        VReg cond = b.ilesu(b.iaddi(in, 64), end);
+        for (int u = 0; u < 2; ++u) {
+            int32_t base_off = 32 * u;
+            std::array<VReg, 8> x;
+            for (int i = 0; i < 8; ++i)
+                x[size_t(i)] = b.ld32d(in, base_off + 4 * i);
+            // Stage 1: pairs (0,1) (2,3) (4,5) (6,7).
+            std::array<VReg, 8> y;
+            for (int p = 0; p < 4; ++p) {
+                Bfly f = butterfly(b, two_slot, x[size_t(2 * p)],
+                                   x[size_t(2 * p + 1)], c1s1, c2s1,
+                                   c1a, c2a, nc1a, clipMax);
+                y[size_t(2 * p)] = f.y0;
+                y[size_t(2 * p + 1)] = f.y1;
+            }
+            // Stage 2: pairs (0,2) (1,3) (4,6) (5,7).
+            std::array<VReg, 8> z;
+            constexpr int pairs[4][2] = {{0, 2}, {1, 3}, {4, 6}, {5, 7}};
+            for (auto &pr : pairs) {
+                Bfly f = butterfly(b, two_slot, y[size_t(pr[0])],
+                                   y[size_t(pr[1])], c1s2, c2s2, c1b,
+                                   c2b, nc1b, clipMax);
+                z[size_t(pr[0])] = f.y0;
+                z[size_t(pr[1])] = f.y1;
+            }
+            for (int i = 0; i < 8; ++i)
+                b.st32d(z[size_t(i)], out, base_off + 4 * i);
+        }
+        b.assign(in, b.iaddi(in, 64));
+        b.assign(out, b.iaddi(out, 64));
+        b.jmpt(cond, loop);
+    }
+
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(b.zero());
+    return b.take();
+}
+
+std::vector<int16_t>
+makeInput(uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<int16_t> v(numRows * 16);
+    for (auto &s : v)
+        s = int16_t(int(rng() % 512) - 256);
+    return v;
+}
+
+int16_t
+refButterflyLane(int u, int v, int c1, int c2, bool first)
+{
+    int64_t r = first ? int64_t(u) * c1 + int64_t(v) * c2
+                      : int64_t(u) * c2 - int64_t(v) * c1;
+    return int16_t(clipRange(clipS32(r), -32768, 32767));
+}
+
+} // namespace
+
+tir::TirProgram
+buildTexturePipeline(bool use_two_slot)
+{
+    return buildKernel(use_two_slot);
+}
+
+void
+stageTexture(System &sys, uint64_t seed)
+{
+    auto in = makeInput(seed);
+    std::vector<uint8_t> bytes;
+    for (int16_t s : in) {
+        bytes.push_back(uint8_t(uint16_t(s) >> 8));
+        bytes.push_back(uint8_t(uint16_t(s)));
+    }
+    sys.writeBytes(texture_geom::inBase, bytes.data(), bytes.size());
+}
+
+bool
+verifyTexture(System &sys, uint64_t seed, std::string &err)
+{
+    auto in = makeInput(seed);
+    for (unsigned row = 0; row < numRows; ++row) {
+        // Each packed word is (laneH, laneL); verify both lanes.
+        for (int lane = 0; lane < 2; ++lane) {
+            int x[8];
+            for (int i = 0; i < 8; ++i)
+                x[i] = in[row * 16 + unsigned(2 * i) + unsigned(lane)];
+            int y[8];
+            for (int p = 0; p < 4; ++p) {
+                y[2 * p] = refButterflyLane(x[2 * p], x[2 * p + 1], c1s1,
+                                            c2s1, true);
+                y[2 * p + 1] = refButterflyLane(x[2 * p], x[2 * p + 1],
+                                                c1s1, c2s1, false);
+            }
+            int z[8];
+            constexpr int pairs[4][2] = {{0, 2}, {1, 3}, {4, 6}, {5, 7}};
+            for (auto &pr : pairs) {
+                z[pr[0]] = refButterflyLane(y[pr[0]], y[pr[1]], c1s2,
+                                            c2s2, true);
+                z[pr[1]] = refButterflyLane(y[pr[0]], y[pr[1]], c1s2,
+                                            c2s2, false);
+            }
+            for (int i = 0; i < 8; ++i) {
+                int want = z[i];
+                Word got_w = sys.peek32(outBase + row * 32 +
+                                        unsigned(4 * i));
+                int16_t got = lane == 0 ? int16_t(got_w >> 16)
+                                        : int16_t(got_w & 0xffff);
+                if (got != want) {
+                    err = strfmt(
+                        "row %u word %d lane %d: want %d got %d", row,
+                        i, lane, want, int(got));
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace tm3270::workloads

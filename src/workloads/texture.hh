@@ -1,0 +1,37 @@
+/**
+ * @file
+ * MPEG2 8x8 texture pipeline kernel (paper §6 / reference [13]): a
+ * two-stage 16-bit butterfly transform plus quantization scaling over
+ * pairs of blocks processed in packed dual-16 lanes. The optimized
+ * version maps each butterfly onto SUPER_DUALIMIX two-slot operations;
+ * the paper reports ~50% improvement for the texture pipeline.
+ */
+
+#ifndef TM3270_WORKLOADS_TEXTURE_HH
+#define TM3270_WORKLOADS_TEXTURE_HH
+
+#include <string>
+
+#include "core/system.hh"
+#include "tir/tir.hh"
+
+namespace tm3270::workloads
+{
+
+namespace texture_geom
+{
+inline constexpr unsigned numRows = 512; ///< 8 packed values per row
+inline constexpr Addr inBase = 0x00100000;
+inline constexpr Addr outBase = 0x00140000;
+} // namespace texture_geom
+
+/** Build the kernel; @p use_two_slot selects SUPER_DUALIMIX. */
+tir::TirProgram buildTexturePipeline(bool use_two_slot);
+
+void stageTexture(System &sys, uint64_t seed);
+
+bool verifyTexture(System &sys, uint64_t seed, std::string &err);
+
+} // namespace tm3270::workloads
+
+#endif // TM3270_WORKLOADS_TEXTURE_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * TV-set algorithms of paper Table 5: "filmdet" (film-mode detection:
+ * field-difference SAD accumulation over two fields) and
+ * "majority_sel" (de-interlacer: per-pixel median of three lines via
+ * quad min/max).
+ */
+
+#include <random>
+
+#include "support/logging.hh"
+#include "workloads/workload.hh"
+
+namespace tm3270::workloads
+{
+
+namespace
+{
+
+constexpr unsigned W = 512;
+constexpr unsigned Hfield = 240;
+constexpr Addr fieldA = 0x00300000;
+constexpr Addr fieldB = 0x00340000;
+constexpr Addr fieldC = 0x00380000;
+constexpr Addr outBase = 0x003C0000;
+constexpr unsigned fieldBytes = W * Hfield;
+
+tir::TirProgram
+buildFilmdet()
+{
+    using namespace tir;
+    Builder b;
+    VReg pa = b.var(), pb = b.var(), end = b.var();
+    VReg acc0 = b.var(), acc1 = b.var(), acc2 = b.var(), acc3 = b.var();
+    b.assign(pa, b.imm32(int32_t(fieldA)));
+    b.assign(pb, b.imm32(int32_t(fieldB)));
+    b.assign(end, b.imm32(int32_t(fieldA + fieldBytes)));
+    for (VReg v : {acc0, acc1, acc2, acc3})
+        b.assign(v, b.imm32(0));
+
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+
+    b.setBlock(loop);
+    VReg cond = b.ilesu(b.iaddi(pa, 16), end);
+    VReg accs[4] = {acc0, acc1, acc2, acc3};
+    for (int k = 0; k < 4; ++k) {
+        VReg wa = b.ld32d(pa, 4 * k);
+        VReg wb = b.ld32d(pb, 4 * k);
+        b.assign(accs[k], b.iadd(accs[k], b.ume8uu(wa, wb)));
+    }
+    b.assign(pa, b.iaddi(pa, 16));
+    b.assign(pb, b.iaddi(pb, 16));
+    b.jmpt(cond, loop);
+
+    int tail = b.newBlock();
+    b.setBlock(tail);
+    VReg sad = b.iadd(b.iadd(acc0, acc1), b.iadd(acc2, acc3));
+    // Film decision: still field pair when SAD is under threshold.
+    VReg film = b.ilesu(sad, b.imm32(int32_t(fieldBytes * 4)));
+    VReg outp = b.imm32(int32_t(outBase));
+    b.st32d(sad, outp, 0);
+    b.st32d(film, outp, 4);
+    b.halt(sad);
+    return b.take();
+}
+
+tir::TirProgram
+buildMajoritySel()
+{
+    using namespace tir;
+    Builder b;
+    VReg pa = b.var(), pb = b.var(), pc = b.var(), po = b.var();
+    VReg end = b.var();
+    b.assign(pa, b.imm32(int32_t(fieldA)));
+    b.assign(pb, b.imm32(int32_t(fieldB)));
+    b.assign(pc, b.imm32(int32_t(fieldC)));
+    b.assign(po, b.imm32(int32_t(outBase)));
+    b.assign(end, b.imm32(int32_t(fieldA + fieldBytes)));
+
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+
+    b.setBlock(loop);
+    VReg cond = b.ilesu(b.iaddi(pa, 8), end);
+    for (int k = 0; k < 2; ++k) {
+        VReg a = b.ld32d(pa, 4 * k);
+        VReg bb = b.ld32d(pb, 4 * k);
+        VReg c = b.ld32d(pc, 4 * k);
+        // Per-byte median of three: max(min(a,b), min(max(a,b), c)).
+        VReg mn = b.quadumin(a, bb);
+        VReg mx = b.quadumax(a, bb);
+        VReg med = b.quadumax(mn, b.quadumin(mx, c));
+        b.st32d(med, po, 4 * k);
+    }
+    b.assign(pa, b.iaddi(pa, 8));
+    b.assign(pb, b.iaddi(pb, 8));
+    b.assign(pc, b.iaddi(pc, 8));
+    b.assign(po, b.iaddi(po, 8));
+    b.jmpt(cond, loop);
+
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(b.zero());
+    return b.take();
+}
+
+} // namespace
+
+Workload
+filmdetWorkload()
+{
+    Workload w;
+    w.name = "filmdet";
+    w.description = "Film detection algorithm, as used in TV sets.";
+    w.build = buildFilmdet;
+    w.init = [](System &sys) {
+        fillRandom(sys, fieldA, fieldBytes, 5);
+        fillRandom(sys, fieldB, fieldBytes, 6);
+    };
+    w.verify = [](System &sys, std::string &err) {
+        std::vector<uint8_t> a(fieldBytes), bb(fieldBytes);
+        sys.readBytes(fieldA, a.data(), a.size());
+        sys.readBytes(fieldB, bb.data(), bb.size());
+        uint32_t sad = 0;
+        for (size_t i = 0; i < fieldBytes; ++i)
+            sad += uint32_t(std::abs(int(a[i]) - int(bb[i])));
+        if (sys.peek32(outBase) != sad) {
+            err = strfmt("SAD mismatch: want %u got %u", sad,
+                         sys.peek32(outBase));
+            return false;
+        }
+        uint32_t film = sad < fieldBytes * 4 ? 1 : 0;
+        if (sys.peek32(outBase + 4) != film) {
+            err = "film decision mismatch";
+            return false;
+        }
+        return true;
+    };
+    return w;
+}
+
+Workload
+majoritySelWorkload()
+{
+    Workload w;
+    w.name = "majority_sel";
+    w.description = "De-interlacer algorithm, as used in TV sets.";
+    w.build = buildMajoritySel;
+    w.init = [](System &sys) {
+        fillRandom(sys, fieldA, fieldBytes, 7);
+        fillRandom(sys, fieldB, fieldBytes, 8);
+        fillRandom(sys, fieldC, fieldBytes, 9);
+    };
+    w.verify = [](System &sys, std::string &err) {
+        std::vector<uint8_t> a(fieldBytes), bb(fieldBytes), c(fieldBytes),
+            got(fieldBytes);
+        sys.readBytes(fieldA, a.data(), a.size());
+        sys.readBytes(fieldB, bb.data(), bb.size());
+        sys.readBytes(fieldC, c.data(), c.size());
+        sys.readBytes(outBase, got.data(), got.size());
+        for (size_t i = 0; i < fieldBytes; ++i) {
+            uint8_t mn = std::min(a[i], bb[i]);
+            uint8_t mx = std::max(a[i], bb[i]);
+            uint8_t want = std::max(mn, std::min(mx, c[i]));
+            if (got[i] != want) {
+                err = strfmt("pixel %zu: want %u got %u", i, want,
+                             got[i]);
+                return false;
+            }
+        }
+        return true;
+    };
+    return w;
+}
+
+} // namespace tm3270::workloads

@@ -1,0 +1,196 @@
+#include "workloads/upconv.hh"
+
+#include <random>
+
+#include "core/mmio.hh"
+#include "support/logging.hh"
+#include "tir/builder.hh"
+#include "workloads/kernel_util.hh"
+
+namespace tm3270::workloads
+{
+
+namespace
+{
+
+using namespace upconv_geom;
+using tir::Builder;
+using tir::VReg;
+
+constexpr unsigned gridCols = W / blockSize - 2; // 30, one-block margin
+constexpr unsigned gridRows = H / blockSize - 2; // 6
+constexpr unsigned numBlocks = gridCols * gridRows;
+
+/** Half-pel interpolated word (frac = 8) at p + off. */
+VReg
+halfPel(Builder &b, const UpconvFlags &f, VReg p, int32_t off,
+        const UnalignedCtx &u0, const UnalignedCtx &u1)
+{
+    if (f.newOps)
+        return b.ldFrac8(b.iaddi(p, off), b.imm32(8));
+    VReg a = loadWordMaybeUnaligned(b, false, p, off, u0);
+    VReg p1_unused = b.zero();
+    (void)p1_unused;
+    VReg c = loadWordMaybeUnaligned(b, false, p, off, u1);
+    // u1 is the context of p + 1; its aligned base differs, so the
+    // second load actually reads the word one byte to the right.
+    return b.quadavg(a, c);
+}
+
+tir::TirProgram
+buildKernel(const UpconvFlags &f)
+{
+    Builder b;
+    VReg blk = b.var();
+    VReg mvp = b.var();
+    b.assign(blk, b.imm32(0));
+    b.assign(mvp, b.imm32(int32_t(mvBase)));
+
+    if (f.prefetch) {
+        VReg mmio = b.imm32(int32_t(mmio_map::pfRegion));
+        b.st32d(b.imm32(int32_t(prevBase)), mmio, 0x00);
+        b.st32d(b.imm32(int32_t(prevBase + W * H)), mmio, 0x04);
+        b.st32d(b.imm32(int32_t(W)), mmio, 0x08);
+        b.st32d(b.imm32(int32_t(nextBase)), mmio, 0x10);
+        b.st32d(b.imm32(int32_t(nextBase + W * H)), mmio, 0x14);
+        b.st32d(b.imm32(int32_t(W)), mmio, 0x18);
+    }
+
+    int block_loop = b.newBlock();
+    int done = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(block_loop);
+
+    b.setBlock(block_loop);
+    {
+        // Block coordinates: x = (1 + blk % 30) * 8, y = (1 + blk/30)*8.
+        VReg col = b.var(); // maintained incrementally
+        VReg rowv = b.var();
+        (void)col;
+        (void)rowv;
+        // Compute x/y from blk with multiply (30 is not a power of 2).
+        VReg by = b.var();
+        // by = blk / 30 via multiply-shift: (blk * 0x8889) >> 20 is
+        // exact for blk < 2^16 when dividing by 30.
+        b.assign(by, b.lsri(b.imul(blk, b.imm32(0x8889)), 20));
+        VReg bx = b.isub(blk, b.imul(by, b.imm32(int32_t(gridCols))));
+        VReg x = b.asli(b.iaddi(bx, 1), 3);
+        VReg y = b.asli(b.iaddi(by, 1), 3);
+
+        VReg mvx = b.ld8s(mvp, 0); // half-pels, odd
+        VReg mvy = b.ld8s(mvp, 1);
+        VReg xi = b.asri(mvx, 1);
+
+        VReg rowoff = b.asli(y, 8); // y * W
+        VReg p_prev = b.iadd(
+            b.iadd(b.imm32(int32_t(prevBase)), rowoff),
+            b.iadd(b.iadd(x, xi), b.asli(mvy, 8)));
+        VReg p_next = b.iadd(
+            b.iadd(b.imm32(int32_t(nextBase)), rowoff),
+            b.isub(b.isub(x, b.iaddi(xi, 1)), b.asli(mvy, 8)));
+        VReg p_out =
+            b.iadd(b.iadd(b.imm32(int32_t(outBase)), rowoff), x);
+
+        UnalignedCtx up0 = makeUnalignedCtx(b, p_prev);
+        UnalignedCtx up1 = makeUnalignedCtx(b, b.iaddi(p_prev, 1));
+        UnalignedCtx un0 = makeUnalignedCtx(b, p_next);
+        UnalignedCtx un1 = makeUnalignedCtx(b, b.iaddi(p_next, 1));
+
+        for (unsigned r = 0; r < blockSize; ++r) {
+            for (unsigned w = 0; w < 2; ++w) {
+                int32_t off = int32_t(r * W + w * 4);
+                VReg hp = halfPel(b, f, p_prev, off, up0, up1);
+                VReg hn = halfPel(b, f, p_next, off, un0, un1);
+                b.st32d(b.quadavg(hp, hn), p_out, off);
+            }
+        }
+
+        b.assign(blk, b.iaddi(blk, 1));
+        b.assign(mvp, b.iaddi(mvp, 2));
+        VReg more = b.ilesi(blk, int32_t(numBlocks));
+        b.jmpt(more, block_loop);
+    }
+
+    b.setBlock(done);
+    b.halt(b.zero());
+    return b.take();
+}
+
+std::vector<uint8_t>
+makeField(uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<uint8_t> v(W * H);
+    for (auto &p : v)
+        p = uint8_t(rng());
+    return v;
+}
+
+std::vector<int8_t>
+makeMvs(uint64_t seed)
+{
+    std::mt19937_64 rng(seed ^ 0xABCD);
+    std::vector<int8_t> mv(numBlocks * 2);
+    constexpr int8_t xchoice[4] = {-3, -1, 1, 3}; // odd: always half-pel
+    for (unsigned i = 0; i < numBlocks; ++i) {
+        mv[2 * i] = xchoice[rng() % 4];
+        mv[2 * i + 1] = int8_t(int(rng() % 5) - 2);
+    }
+    return mv;
+}
+
+} // namespace
+
+tir::TirProgram
+buildUpconversion(const UpconvFlags &flags)
+{
+    return buildKernel(flags);
+}
+
+void
+stageUpconversion(System &sys, uint64_t seed)
+{
+    auto prev = makeField(seed);
+    auto next = makeField(seed + 1);
+    auto mvs = makeMvs(seed);
+    sys.writeBytes(prevBase, prev.data(), prev.size());
+    sys.writeBytes(nextBase, next.data(), next.size());
+    sys.writeBytes(mvBase, mvs.data(), mvs.size());
+}
+
+bool
+verifyUpconversion(System &sys, uint64_t seed, std::string &err)
+{
+    auto prev = makeField(seed);
+    auto next = makeField(seed + 1);
+    auto mvs = makeMvs(seed);
+    std::vector<uint8_t> got(W * H);
+    sys.readBytes(outBase, got.data(), got.size());
+
+    for (unsigned i = 0; i < numBlocks; ++i) {
+        unsigned bx = (1 + i % gridCols) * blockSize;
+        unsigned by = (1 + i / gridCols) * blockSize;
+        int mvx = mvs[2 * i], mvy = mvs[2 * i + 1];
+        int xi = mvx >> 1;
+        for (unsigned r = 0; r < blockSize; ++r) {
+            for (unsigned c = 0; c < blockSize; ++c) {
+                size_t pp = size_t((int(by + r) + mvy) * int(W) +
+                                   int(bx + c) + xi);
+                size_t pn = size_t((int(by + r) - mvy) * int(W) +
+                                   int(bx + c) - xi - 1);
+                int hp = (prev[pp] + prev[pp + 1] + 1) >> 1;
+                int hn = (next[pn] + next[pn + 1] + 1) >> 1;
+                uint8_t want = uint8_t((hp + hn + 1) >> 1);
+                uint8_t g = got[(by + r) * W + bx + c];
+                if (g != want) {
+                    err = strfmt("block %u px (%u,%u): want %u got %u",
+                                 i, r, c, want, g);
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace tm3270::workloads

@@ -1,0 +1,36 @@
+#include "workloads/workload.hh"
+
+#include "support/logging.hh"
+
+namespace tm3270::workloads
+{
+
+RunResult
+runWorkload(const Workload &w, const MachineConfig &cfg,
+            bool use_prefetch_regions)
+{
+    System sys(cfg);
+    w.init(sys);
+    (void)use_prefetch_regions; // kernels program regions via MMIO
+    tir::CompiledProgram cp = tir::compile(w.build(), cfg);
+    RunResult r = sys.runProgram(cp.encoded);
+    tm_assert(r.halted, "workload %s did not halt", w.name.c_str());
+    std::string err;
+    if (!w.verify(sys, err))
+        fatal("workload %s failed verification: %s", w.name.c_str(),
+              err.c_str());
+    return r;
+}
+
+std::vector<Workload>
+table5Suite()
+{
+    return {
+        memsetWorkload(),    memcpyWorkload(),   filterWorkload(),
+        rgb2yuvWorkload(),   rgb2cmykWorkload(), rgb2yiqWorkload(),
+        mpeg2Workload('a'),  mpeg2Workload('b'), mpeg2Workload('c'),
+        filmdetWorkload(),   majoritySelWorkload(),
+    };
+}
+
+} // namespace tm3270::workloads

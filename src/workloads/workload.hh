@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The workload suite (paper Table 5): each workload bundles a TIR
+ * kernel generator, memory staging, and a host-reference verifier so
+ * every simulated run is checked bit-exactly against C++ reference
+ * code.
+ */
+
+#ifndef TM3270_WORKLOADS_WORKLOAD_HH
+#define TM3270_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "tir/builder.hh"
+#include "tir/scheduler.hh"
+
+namespace tm3270::workloads
+{
+
+/** One benchmark kernel/application. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    /** Build the kernel IR (identical across configurations; the
+     *  scheduler retargets it — "re-compilation", paper §6). */
+    std::function<tir::TirProgram()> build;
+    /** Stage input data in simulated memory. */
+    std::function<void(System &)> init;
+    /** Verify simulated memory against the host reference. */
+    std::function<bool(System &, std::string &)> verify;
+};
+
+/** Run @p w on a machine configuration; fatal on verify failure. */
+RunResult runWorkload(const Workload &w, const MachineConfig &cfg,
+                      bool use_prefetch_regions = false);
+
+// Table 5 kernels/applications.
+Workload memsetWorkload();
+Workload memcpyWorkload();
+Workload filterWorkload();
+Workload rgb2yuvWorkload();
+Workload rgb2cmykWorkload();
+Workload rgb2yiqWorkload();
+Workload mpeg2Workload(char variant); ///< 'a' | 'b' | 'c'
+Workload filmdetWorkload();
+Workload majoritySelWorkload();
+
+/** The full Table 5 suite in paper order. */
+std::vector<Workload> table5Suite();
+
+/** MP3 decoder proxy (subband synthesis; Table 4 power workload). */
+Workload mp3Workload();
+
+/** Fill simulated memory with deterministic pseudo-random bytes. */
+void fillRandom(System &sys, Addr base, size_t len, uint64_t seed);
+
+} // namespace tm3270::workloads
+
+#endif // TM3270_WORKLOADS_WORKLOAD_HH

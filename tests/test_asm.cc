@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Assembler/disassembler tests: syntax coverage, slot placement,
+ * labels, guards, two-slot operations, error diagnostics and
+ * assemble -> encode -> decode -> disassemble -> assemble roundtrips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "core/system.hh"
+#include "encode/decoder.hh"
+#include "support/logging.hh"
+
+using namespace tm3270;
+
+TEST(Asm, BasicInstruction)
+{
+    AsmProgram p = assemble("iadd r2 r3 -> r4\n");
+    ASSERT_EQ(p.insts.size(), 1u);
+    const Operation &op = p.insts[0].slot[0];
+    EXPECT_EQ(op.opc, Opcode::IADD);
+    EXPECT_EQ(op.src[0], 2);
+    EXPECT_EQ(op.src[1], 3);
+    EXPECT_EQ(op.dst[0], 4);
+}
+
+TEST(Asm, MultipleOpsShareInstruction)
+{
+    AsmProgram p = assemble("iadd r2 r3 -> r4 | isub r5 r6 -> r7\n");
+    ASSERT_EQ(p.insts.size(), 1u);
+    EXPECT_EQ(p.insts[0].numOps(), 2u);
+}
+
+TEST(Asm, ExplicitSlots)
+{
+    AsmProgram p = assemble("[3] iadd r2 r3 -> r4\n");
+    EXPECT_FALSE(p.insts[0].slot[0].used());
+    EXPECT_TRUE(p.insts[0].slot[2].used());
+}
+
+TEST(Asm, GuardPrefix)
+{
+    AsmProgram p = assemble("if r9 iadd r2 r3 -> r4\n");
+    EXPECT_EQ(p.insts[0].slot[0].guard, 9);
+}
+
+TEST(Asm, ImmediatesAndComments)
+{
+    AsmProgram p = assemble(
+        "; a comment line\n"
+        "imm16 #-5 -> r2   ; trailing comment\n"
+        "iaddi r2 #100 -> r3\n");
+    ASSERT_EQ(p.insts.size(), 2u);
+    EXPECT_EQ(p.insts[0].slot[0].imm, -5);
+    EXPECT_EQ(p.insts[1].slot[0].imm, 100);
+}
+
+TEST(Asm, LoadsGoToSlot5)
+{
+    AsmProgram p = assemble("ld32d r2 #8 -> r3\n");
+    EXPECT_TRUE(p.insts[0].slot[4].used());
+}
+
+TEST(Asm, StoreValueAfterArrow)
+{
+    AsmProgram p = assemble("st32d r2 #4 -> r7\n");
+    const Operation *op = nullptr;
+    for (const auto &o : p.insts[0].slot) {
+        if (o.used())
+            op = &o;
+    }
+    ASSERT_NE(op, nullptr);
+    EXPECT_EQ(op->opc, Opcode::ST32D);
+    EXPECT_EQ(op->src[0], 2); // base
+    EXPECT_EQ(op->dst[0], 7); // value register
+}
+
+TEST(Asm, LabelsAndBranches)
+{
+    AsmProgram p = assemble(
+        "imm16 #0 -> r2\n"
+        "loop:\n"
+        "iaddi r2 #1 -> r2\n"
+        "if r3 jmpt @loop\n"
+        "halt r2\n");
+    ASSERT_EQ(p.insts.size(), 4u);
+    EXPECT_TRUE(p.jumpTargets[1]);
+    // Branch immediate resolves to instruction index 1.
+    bool found = false;
+    for (const auto &o : p.insts[2].slot) {
+        if (o.used() && o.opc == Opcode::JMPT) {
+            EXPECT_EQ(o.imm, 1);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Asm, TwoSlotOperation)
+{
+    AsmProgram p =
+        assemble("super_dualimix r2 r3 r4 r5 -> r6 r7\n");
+    const Operation &op = p.insts[0].slot[1]; // slots 2+3
+    EXPECT_EQ(op.opc, Opcode::SUPER_DUALIMIX);
+    EXPECT_EQ(op.src[3], 5);
+    EXPECT_EQ(op.dst[1], 7);
+}
+
+TEST(Asm, Errors)
+{
+    EXPECT_THROW(assemble("bogus_op r1 -> r2\n"), FatalError);
+    EXPECT_THROW(assemble("iadd r2 r3 -> r200\n"), FatalError);
+    EXPECT_THROW(assemble("jmpt @nowhere\n"), FatalError);
+    EXPECT_THROW(assemble("[9] iadd r2 r3 -> r4\n"), FatalError);
+    // Six ALU ops cannot share five slots.
+    EXPECT_THROW(
+        assemble("iadd r2 r2 -> r2 | iadd r2 r2 -> r2 | "
+                 "iadd r2 r2 -> r2 | iadd r2 r2 -> r2 | "
+                 "iadd r2 r2 -> r2 | iadd r2 r2 -> r2\n"),
+        FatalError);
+    // Duplicate label.
+    EXPECT_THROW(assemble("a:\na:\nhalt r0\n"), FatalError);
+}
+
+TEST(Asm, AssembledProgramRunsOnProcessor)
+{
+    AsmProgram p = assemble(
+        "imm16 #0 -> r2 | imm16 #0 -> r3\n"
+        "loop:\n"
+        "iaddi r2 #7 -> r2 | iaddi r3 #1 -> r3\n"
+        "ilesi r3 #10 -> r4\n"
+        "if r4 jmpt @loop\n"
+        "nop\nnop\nnop\nnop\nnop\n" // delay slots
+        "halt r2\n");
+    System sys(tm3270Config());
+    RunResult r = sys.runProgram(p.encode());
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.exitValue, 70u);
+}
+
+TEST(Asm, DisassembleRoundtrip)
+{
+    const char *src =
+        "imm16 #42 -> r2 | immhi #4096 -> r3\n"
+        "top:\n"
+        "iadd r2 r3 -> r4 | if r5 isub r6 r7 -> r8\n"
+        "ld32d r2 #16 -> r9\n"
+        "st32d r4 #0 -> r9\n"
+        "jmpi @top\n"
+        "halt r4\n";
+    AsmProgram p1 = assemble(src);
+    std::string dis = disassemble(p1.insts, p1.jumpTargets);
+    AsmProgram p2 = assemble(dis);
+    ASSERT_EQ(p2.insts.size(), p1.insts.size());
+    for (size_t i = 0; i < p1.insts.size(); ++i)
+        EXPECT_EQ(p2.insts[i], p1.insts[i]) << "instruction " << i;
+}
+
+TEST(Asm, DisassembleEncodedProgram)
+{
+    AsmProgram p = assemble(
+        "imm16 #1 -> r2\n"
+        "t:\n"
+        "iaddi r2 #1 -> r2\n"
+        "jmpi @t\n"
+        "halt r2\n");
+    EncodedProgram e = p.encode();
+    std::string dis = disassemble(e);
+    // The label-form branch survives re-assembly.
+    AsmProgram p2 = assemble(dis);
+    EXPECT_EQ(p2.insts.size(), p.insts.size());
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the set-associative cache core: geometry, LRU, byte
+ * validity, refill-merge, copy-back of valid bytes only, flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+using namespace tm3270;
+
+namespace
+{
+
+CacheGeometry
+smallGeom()
+{
+    // 4 sets x 2 ways x 64-byte lines = 512 bytes.
+    return CacheGeometry{"test", 512, 2, 64, true};
+}
+
+} // namespace
+
+TEST(CacheGeometry, Tm3270Shapes)
+{
+    CacheGeometry d{"dcache", 128 * 1024, 4, 128, true};
+    EXPECT_EQ(d.numSets(), 256u);
+    CacheGeometry i{"icache", 64 * 1024, 8, 128, false};
+    EXPECT_EQ(i.numSets(), 64u);
+}
+
+TEST(Cache, ProbeMissThenHit)
+{
+    Cache c(smallGeom());
+    EXPECT_EQ(c.probe(0x000), -1);
+    int way;
+    c.allocate(0x000, way);
+    EXPECT_GE(c.probe(0x000), 0);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(smallGeom());
+    // Set 0 line addresses: stride = 4 sets * 64 = 256.
+    int way;
+    c.allocate(0x000, way);
+    c.allocate(0x100, way);
+    // Touch 0x000 so 0x100 becomes LRU.
+    c.touch(0x000, c.probe(0x000));
+    Victim v = c.allocate(0x200, way);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.lineAddr, 0x100u);
+    EXPECT_GE(c.probe(0x000), 0);
+    EXPECT_EQ(c.probe(0x100), -1);
+}
+
+TEST(Cache, ByteValidityTracksWrites)
+{
+    Cache c(smallGeom());
+    int way;
+    c.allocate(0x000, way);
+    EXPECT_FALSE(c.bytesValid(0x000, way, 0, 4));
+    uint8_t data[4] = {1, 2, 3, 4};
+    c.writeBytes(0x000, way, 8, 4, data);
+    EXPECT_TRUE(c.bytesValid(0x000, way, 8, 4));
+    EXPECT_FALSE(c.bytesValid(0x000, way, 7, 4)); // byte 7 invalid
+    EXPECT_TRUE(c.isDirty(0x000, way));
+}
+
+TEST(Cache, RefillMergePreservesStoreData)
+{
+    MainMemory mem(4096);
+    for (unsigned i = 0; i < 64; ++i)
+        mem.setByte(i, uint8_t(0xC0 + (i & 0xf)));
+
+    Cache c(smallGeom());
+    int way;
+    c.allocate(0x000, way);
+    uint8_t newer[2] = {0xAA, 0xBB};
+    c.writeBytes(0x000, way, 0, 2, newer);
+    // Refill merge: only the invalid bytes take memory data.
+    c.fillFromMemory(mem, 0x000, way);
+    uint8_t out[4];
+    c.readBytes(0x000, way, 0, 4, out);
+    EXPECT_EQ(out[0], 0xAA);
+    EXPECT_EQ(out[1], 0xBB);
+    EXPECT_EQ(out[2], 0xC2);
+    EXPECT_EQ(out[3], 0xC3);
+    EXPECT_TRUE(c.bytesValid(0x000, way, 0, 64));
+}
+
+TEST(Cache, VictimCarriesOnlyValidBytes)
+{
+    Cache c(smallGeom());
+    int way;
+    c.allocate(0x000, way);
+    uint8_t data[3] = {9, 8, 7};
+    c.writeBytes(0x000, way, 10, 3, data);
+    c.allocate(0x100, way);
+    Victim v = c.allocate(0x200, way); // evicts one of them
+    ASSERT_TRUE(v.valid);
+    if (v.dirty) {
+        EXPECT_EQ(v.validBytes, 3u);
+        EXPECT_EQ(v.vmask[10], true);
+        EXPECT_EQ(v.vmask[9], false);
+    }
+}
+
+TEST(Cache, FlushWritesOnlyValidBytes)
+{
+    MainMemory mem(4096);
+    for (unsigned i = 0; i < 64; ++i)
+        mem.setByte(i, 0x11);
+
+    Cache c(smallGeom());
+    int way;
+    c.allocate(0x000, way);
+    uint8_t data[2] = {0xDE, 0xAD};
+    c.writeBytes(0x000, way, 4, 2, data);
+    c.flush(mem);
+    EXPECT_EQ(mem.byteAt(3), 0x11);
+    EXPECT_EQ(mem.byteAt(4), 0xDE);
+    EXPECT_EQ(mem.byteAt(5), 0xAD);
+    EXPECT_EQ(mem.byteAt(6), 0x11);
+    EXPECT_EQ(c.probe(0x000), -1); // flush invalidates
+}
+
+TEST(Cache, AllocatePrefersInvalidWay)
+{
+    Cache c(smallGeom());
+    int way;
+    c.allocate(0x000, way);
+    Victim v = c.allocate(0x100, way);
+    EXPECT_FALSE(v.valid); // second way was free
+}
+
+TEST(Cache, TagOnlyModeForInstructionCache)
+{
+    CacheGeometry g{"icache", 512, 2, 64, false};
+    Cache c(g);
+    int way;
+    c.allocate(0x000, way);
+    c.markAllValid(0x000, way);
+    EXPECT_TRUE(c.bytesValid(0x000, way, 0, 64));
+    EXPECT_GE(c.probe(0x000), 0);
+}
+
+TEST(Cache, SetIndexingIsModuloSets)
+{
+    Cache c(smallGeom());
+    int way;
+    // 0x000 and 0x040 are different sets; both fit without eviction.
+    c.allocate(0x000, way);
+    c.allocate(0x040, way);
+    EXPECT_GE(c.probe(0x000), 0);
+    EXPECT_GE(c.probe(0x040), 0);
+    EXPECT_EQ(c.stats.get("evictions"), 0u);
+}
+
+TEST(Cache, InvalidateAllDropsEverything)
+{
+    Cache c(smallGeom());
+    int way;
+    c.allocate(0x000, way);
+    c.allocate(0x040, way);
+    c.invalidateAll();
+    EXPECT_EQ(c.probe(0x000), -1);
+    EXPECT_EQ(c.probe(0x040), -1);
+}

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Processor pipeline tests on hand-encoded programs: guarded
+ * execution, exposed-pipeline latencies, jump delay slots (paper §3),
+ * memory operations, MMIO, and the machine configurations of Table 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "support/logging.hh"
+
+using namespace tm3270;
+
+namespace
+{
+
+Operation
+op(Opcode opc, RegIndex d = 0, RegIndex s1 = 0, RegIndex s2 = 0,
+   int32_t imm = 0, RegIndex guard = regOne)
+{
+    Operation o;
+    o.opc = opc;
+    o.guard = guard;
+    o.dst[0] = d;
+    o.src[0] = s1;
+    o.src[1] = s2;
+    o.imm = imm;
+    return o;
+}
+
+/** Place @p o in the first legal free slot of @p inst. */
+void
+place(VliwInst &inst, const Operation &o)
+{
+    const OpInfo &oi = o.info();
+    uint8_t mask = oi.isLoad && oi.fu != FuClass::FracLoad &&
+                           !oi.isTwoSlot
+                       ? slotBit(5)
+                       : oi.slotMask;
+    for (unsigned s = 0; s < numSlots; ++s) {
+        if ((mask & slotBit(s + 1)) && !inst.slot[s].used()) {
+            inst.slot[s] = o;
+            return;
+        }
+    }
+    panic("no free slot");
+}
+
+/** One op per instruction, then halt reading @p result_reg. */
+RunResult
+runSeq(const std::vector<Operation> &ops, RegIndex result_reg,
+       MachineConfig cfg = tm3270Config())
+{
+    std::vector<VliwInst> prog;
+    for (const auto &o : ops) {
+        VliwInst inst;
+        place(inst, o);
+        prog.push_back(inst);
+    }
+    VliwInst h;
+    place(h, op(Opcode::HALT, 0, result_reg));
+    prog.push_back(h);
+
+    EncodedProgram ep = encodeProgram(prog);
+    System sys(cfg);
+    return sys.runProgram(ep);
+}
+
+} // namespace
+
+TEST(Core, ArithmeticAndHalt)
+{
+    RunResult r = runSeq(
+        {
+            op(Opcode::IMM16, 2, 0, 0, 5),
+            op(Opcode::IMM16, 3, 0, 0, 7),
+            op(Opcode::IADD, 4, 2, 3),
+        },
+        4);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.exitValue, 12u);
+    EXPECT_EQ(r.instrs, 4u);
+}
+
+TEST(Core, R0AndR1AreConstant)
+{
+    RunResult r = runSeq(
+        {
+            op(Opcode::IMM16, 0, 0, 0, 99), // write to r0 ignored
+            op(Opcode::IADD, 2, 0, 1),      // 0 + 1
+        },
+        2);
+    EXPECT_EQ(r.exitValue, 1u);
+}
+
+TEST(Core, GuardFalseSuppressesEffect)
+{
+    RunResult r = runSeq(
+        {
+            op(Opcode::IMM16, 2, 0, 0, 11),
+            op(Opcode::IMM16, 3, 0, 0, 22),
+            // r0 guard (always 0): must not overwrite r2.
+            op(Opcode::IADD, 2, 3, 3, 0, regZero),
+        },
+        2);
+    EXPECT_EQ(r.exitValue, 11u);
+}
+
+TEST(Core, GuardTrueAppliesEffect)
+{
+    RunResult r = runSeq(
+        {
+            op(Opcode::IMM16, 2, 0, 0, 11),
+            op(Opcode::IMM16, 3, 0, 0, 22),
+            op(Opcode::IADD, 2, 3, 3, 0, regOne),
+        },
+        2);
+    EXPECT_EQ(r.exitValue, 44u);
+}
+
+TEST(Core, ExposedPipelineReadsOldValueBeforeLatency)
+{
+    // imul has latency 3: a read 1 cycle later must see the old value
+    // — and the strict latency checker must reject it.
+    std::vector<VliwInst> prog(3);
+    place(prog[0], op(Opcode::IMM16, 2, 0, 0, 6));
+    place(prog[1], op(Opcode::IMUL, 3, 2, 2));
+    place(prog[2], op(Opcode::IADD, 4, 3, 0)); // too early!
+    VliwInst h;
+    place(h, op(Opcode::HALT, 0, 4));
+    prog.push_back(h);
+
+    MachineConfig cfg = tm3270Config();
+    System sys(cfg);
+    EXPECT_THROW(sys.runProgram(encodeProgram(prog)), FatalError);
+
+    // With the check relaxed, the old (zero) value is observed.
+    cfg.strictLatencyCheck = false;
+    System sys2(cfg);
+    RunResult r = sys2.runProgram(encodeProgram(prog));
+    EXPECT_EQ(r.exitValue, 0u);
+}
+
+TEST(Core, MultiplyLatencyRespected)
+{
+    RunResult r = runSeq(
+        {
+            op(Opcode::IMM16, 2, 0, 0, 6),
+            op(Opcode::IMUL, 3, 2, 2),
+            op(Opcode::NOP),
+            op(Opcode::NOP),
+            op(Opcode::IADD, 4, 3, 0), // 3 cycles after the imul
+        },
+        4);
+    EXPECT_EQ(r.exitValue, 36u);
+}
+
+TEST(Core, JumpDelaySlotsExecute)
+{
+    // jmpi at instruction 1; the 5 delay-slot instructions increment
+    // r2; instructions at the target do not re-increment.
+    std::vector<VliwInst> prog;
+    for (int i = 0; i < 10; ++i)
+        prog.emplace_back();
+    place(prog[0], op(Opcode::IMM16, 2, 0, 0, 0));
+    place(prog[1], op(Opcode::JMPI, 0, 0, 0, /*target*/ 9));
+    for (int i = 2; i < 7; ++i) // 5 delay slots
+        place(prog[size_t(i)], op(Opcode::IADDI, 2, 2, 0, 1));
+    // Instructions 7, 8 are skipped by the jump.
+    place(prog[7], op(Opcode::IADDI, 2, 2, 0, 100));
+    place(prog[8], op(Opcode::IADDI, 2, 2, 0, 100));
+    place(prog[9], op(Opcode::HALT, 0, 2));
+
+    System sys(tm3270Config());
+    RunResult r = sys.runProgram(encodeProgram(prog));
+    EXPECT_EQ(r.exitValue, 5u);
+    // No stall cycles for the control transfer (paper: no branch
+    // prediction needed).
+    EXPECT_EQ(r.instrs, 8u); // 0,1 + 5 delay slots + halt
+}
+
+TEST(Core, Tm3260HasThreeDelaySlots)
+{
+    std::vector<VliwInst> prog;
+    for (int i = 0; i < 8; ++i)
+        prog.emplace_back();
+    place(prog[0], op(Opcode::IMM16, 2, 0, 0, 0));
+    place(prog[1], op(Opcode::JMPI, 0, 0, 0, 7));
+    for (int i = 2; i < 7; ++i)
+        place(prog[size_t(i)], op(Opcode::IADDI, 2, 2, 0, 1));
+    place(prog[7], op(Opcode::HALT, 0, 2));
+
+    System sys(tm3260Config());
+    RunResult r = sys.runProgram(encodeProgram(prog));
+    EXPECT_EQ(r.exitValue, 3u); // only 3 delay slots execute
+}
+
+TEST(Core, ConditionalJumpNotTaken)
+{
+    std::vector<VliwInst> prog(4);
+    place(prog[0], op(Opcode::IMM16, 2, 0, 0, 1));
+    place(prog[1], op(Opcode::JMPT, 0, 0, 0, 3, regZero)); // guard false
+    place(prog[2], op(Opcode::IADDI, 2, 2, 0, 10));
+    place(prog[3], op(Opcode::NOP));
+    VliwInst h;
+    place(h, op(Opcode::HALT, 0, 2));
+    prog.push_back(h);
+
+    System sys(tm3270Config());
+    RunResult r = sys.runProgram(encodeProgram(prog));
+    EXPECT_EQ(r.exitValue, 11u); // fall-through executed
+}
+
+TEST(Core, LoadStoreRoundtripThroughCache)
+{
+    MachineConfig cfg = tm3270Config();
+    System sys(cfg);
+    sys.poke32(0x1000, 0xCAFED00D);
+
+    std::vector<VliwInst> prog;
+    std::vector<Operation> seq = {
+        op(Opcode::IMM16, 2, 0, 0, 0x1000),
+        op(Opcode::LD32D, 3, 2, 0, 0),
+        op(Opcode::NOP), op(Opcode::NOP), op(Opcode::NOP),
+        op(Opcode::IADDI, 4, 3, 0, 1),
+        op(Opcode::ST32D, 4, 2, 0, 4), // mem[0x1004] = r4
+        op(Opcode::NOP),
+    };
+    for (const auto &o : seq) {
+        VliwInst inst;
+        place(inst, o);
+        prog.push_back(inst);
+    }
+    VliwInst h;
+    place(h, op(Opcode::HALT, 0, 4));
+    prog.push_back(h);
+
+    RunResult r = sys.runProgram(encodeProgram(prog));
+    EXPECT_EQ(r.exitValue, 0xCAFED00Eu);
+    EXPECT_EQ(sys.peek32(0x1004), 0xCAFED00Eu);
+    EXPECT_GT(r.stallCycles, 0u); // the first load missed
+}
+
+TEST(Core, StoreValueRegisterIsDstField)
+{
+    // ST32D encodes the value register in the dst field; ensure the
+    // gather logic reads it as a source.
+    MachineConfig cfg = tm3270Config();
+    System sys(cfg);
+    std::vector<VliwInst> prog(4);
+    place(prog[0], op(Opcode::IMM16, 2, 0, 0, 0x2000));
+    place(prog[1], op(Opcode::IMM16, 3, 0, 0, 0x1234));
+    place(prog[2], op(Opcode::ST32D, 3, 2, 0, 0));
+    place(prog[3], op(Opcode::NOP));
+    VliwInst h;
+    place(h, op(Opcode::HALT, 0, 0));
+    prog.push_back(h);
+    sys.runProgram(encodeProgram(prog));
+    EXPECT_EQ(sys.peek32(0x2000), 0x1234u);
+}
+
+TEST(Core, MmioProgramsPrefetchRegions)
+{
+    MachineConfig cfg = tm3270Config();
+    System sys(cfg);
+    std::vector<VliwInst> prog;
+    std::vector<Operation> seq = {
+        op(Opcode::IMMHI, 2, 0, 0, 0xE000),        // MMIO base
+        op(Opcode::IMM16, 3, 0, 0, 0x4000),        // PF0 start
+        op(Opcode::ST32D, 3, 2, 0, 0x000),         // PF0_START_ADDR
+        op(Opcode::IMM16, 4, 0, 0, 0x5000),
+        op(Opcode::ST32D, 4, 2, 0, 0x004),         // PF0_END_ADDR
+        op(Opcode::IMM16, 5, 0, 0, 128),
+        op(Opcode::ST32D, 5, 2, 0, 0x008),         // PF0_STRIDE
+        op(Opcode::NOP),
+    };
+    for (const auto &o : seq) {
+        VliwInst inst;
+        place(inst, o);
+        prog.push_back(inst);
+    }
+    VliwInst h;
+    place(h, op(Opcode::HALT, 0, 0));
+    prog.push_back(h);
+    sys.runProgram(encodeProgram(prog));
+
+    const auto &region = sys.processor.lsu().prefetcher().region(0);
+    EXPECT_EQ(region.start, 0x4000u);
+    EXPECT_EQ(region.end, 0x5000u);
+    EXPECT_EQ(region.stride, 128);
+}
+
+TEST(Core, CycleCounterMmio)
+{
+    MachineConfig cfg = tm3270Config();
+    System sys(cfg);
+    std::vector<VliwInst> prog;
+    std::vector<Operation> seq = {
+        op(Opcode::IMMHI, 2, 0, 0, 0xE000),
+        op(Opcode::LD32D, 3, 2, 0, 0x100), // cycle counter
+        op(Opcode::NOP), op(Opcode::NOP), op(Opcode::NOP),
+    };
+    for (const auto &o : seq) {
+        VliwInst inst;
+        place(inst, o);
+        prog.push_back(inst);
+    }
+    VliwInst h;
+    place(h, op(Opcode::HALT, 0, 3));
+    prog.push_back(h);
+    RunResult r = sys.runProgram(encodeProgram(prog));
+    EXPECT_GT(r.exitValue, 0u);
+    EXPECT_LT(r.exitValue, r.cycles);
+}
+
+TEST(Core, SuperLd32rEndToEnd)
+{
+    MachineConfig cfg = tm3270Config();
+    System sys(cfg);
+    sys.poke32(0x3000, 0x11223344);
+    sys.poke32(0x3004, 0x55667788);
+
+    std::vector<VliwInst> prog(4);
+    place(prog[0], op(Opcode::IMM16, 2, 0, 0, 0x3000));
+    Operation sld;
+    sld.opc = Opcode::SUPER_LD32R;
+    sld.dst = {3, 4};
+    sld.src = {0, 0, 2, 0}; // base r2 + r0
+    prog[1].slot[3] = sld;  // slots 4+5
+    place(prog[2], op(Opcode::NOP));
+    place(prog[3], op(Opcode::NOP));
+    VliwInst a;
+    place(a, op(Opcode::NOP));
+    prog.push_back(a);
+    VliwInst add;
+    place(add, op(Opcode::IXOR, 5, 3, 4));
+    prog.push_back(add);
+    VliwInst h;
+    place(h, op(Opcode::HALT, 0, 5));
+    prog.push_back(h);
+
+    RunResult r = sys.runProgram(encodeProgram(prog));
+    EXPECT_EQ(r.exitValue, 0x11223344u ^ 0x55667788u);
+}
+
+TEST(Core, IcacheMissesOnColdFetch)
+{
+    RunResult r = runSeq({op(Opcode::IMM16, 2, 0, 0, 3)}, 2);
+    EXPECT_EQ(r.exitValue, 3u);
+}
+
+TEST(Core, ConfigTable6)
+{
+    MachineConfig a = tm3260Config();
+    EXPECT_EQ(a.freqMHz, 240u);
+    EXPECT_EQ(a.dcache.sizeBytes, 16u * 1024);
+    EXPECT_EQ(a.dcache.lineBytes, 64u);
+    EXPECT_EQ(a.dcache.assoc, 8u);
+    EXPECT_FALSE(a.lsu.allocateOnWriteMiss);
+    EXPECT_EQ(a.loadLatency, 3u);
+    EXPECT_EQ(a.jumpDelaySlots, 3u);
+    EXPECT_EQ(a.maxLoadsPerInst, 2u);
+
+    MachineConfig d = tm3270Config();
+    EXPECT_EQ(d.freqMHz, 350u);
+    EXPECT_EQ(d.dcache.sizeBytes, 128u * 1024);
+    EXPECT_EQ(d.dcache.lineBytes, 128u);
+    EXPECT_EQ(d.dcache.assoc, 4u);
+    EXPECT_TRUE(d.lsu.allocateOnWriteMiss);
+    EXPECT_EQ(d.loadLatency, 4u);
+    EXPECT_EQ(d.jumpDelaySlots, 5u);
+    EXPECT_EQ(d.maxLoadsPerInst, 1u);
+
+    MachineConfig b = configByLetter('B');
+    EXPECT_EQ(b.freqMHz, 240u);
+    EXPECT_EQ(b.dcache.sizeBytes, 16u * 1024);
+    EXPECT_EQ(b.dcache.lineBytes, 128u); // TM3270 line size
+    MachineConfig c = configByLetter('C');
+    EXPECT_EQ(c.freqMHz, 350u);
+}

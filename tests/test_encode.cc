@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the VLIW compression scheme (paper §2.1, Fig. 1):
+ * operation formats, template chaining, the published size bounds
+ * (2-byte empty instruction, 28-byte maximum) and bit-exact
+ * encode/decode roundtrips including randomized property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "encode/decoder.hh"
+#include "encode/encoder.hh"
+#include "encode/formats.hh"
+
+using namespace tm3270;
+
+namespace
+{
+
+Operation
+mkOp(Opcode opc, RegIndex d = 0, RegIndex s1 = 0, RegIndex s2 = 0,
+     int32_t imm = 0, RegIndex guard = regOne)
+{
+    Operation op;
+    op.opc = opc;
+    op.guard = guard;
+    op.dst[0] = d;
+    op.src[0] = s1;
+    op.src[1] = s2;
+    op.imm = imm;
+    return op;
+}
+
+} // namespace
+
+TEST(Formats, SelectSmallest)
+{
+    // Low registers, implied guard -> 26-bit.
+    EXPECT_EQ(selectFormat(mkOp(Opcode::IADD, 4, 5, 6)), SlotFmt::Fmt26);
+    // High register -> 34-bit compact encoding.
+    EXPECT_EQ(selectFormat(mkOp(Opcode::IADD, 100, 5, 6)), SlotFmt::Fmt34);
+    // Explicit guard -> 34-bit.
+    EXPECT_EQ(selectFormat(mkOp(Opcode::IADD, 4, 5, 6, 0, 7)),
+              SlotFmt::Fmt34);
+    // Immediates -> 42-bit.
+    EXPECT_EQ(selectFormat(mkOp(Opcode::IADDI, 4, 5, 0, 3)),
+              SlotFmt::Fmt42);
+    EXPECT_EQ(selectFormat(mkOp(Opcode::IMM16, 4, 0, 0, -5)),
+              SlotFmt::Fmt42);
+    // Unused slot.
+    EXPECT_EQ(selectFormat(Operation()), SlotFmt::Unused);
+}
+
+TEST(Formats, CompactTable)
+{
+    EXPECT_LE(numCompactOpcodes(), 64u);
+    EXPECT_GT(numCompactOpcodes(), 30u);
+    for (unsigned i = 0; i < numCompactOpcodes(); ++i) {
+        Opcode opc = compactOpcode(i);
+        EXPECT_EQ(compactIndex(opc), int(i));
+        EXPECT_EQ(opInfo(opc).imm, ImmKind::None);
+    }
+}
+
+TEST(Encode, EmptyInstructionIsTwoBytes)
+{
+    // Paper: "A VLIW instruction without any operations is efficiently
+    // encoded in 2 bytes."
+    std::vector<VliwInst> prog(3); // entry + 2 empty instructions
+    EncodedProgram p = encodeProgram(prog, {false, false, false});
+    // Instruction 0 is the uncompressed entry; 1 and 2 are empty.
+    EXPECT_EQ(p.sizeOf(1), 2u);
+    EXPECT_EQ(p.sizeOf(2), 1u); // last instruction: no template, 1 bit
+}
+
+TEST(Encode, MaximalInstructionIs28Bytes)
+{
+    // Paper: all five operations at 42 bits encode in 28 bytes.
+    VliwInst big;
+    for (unsigned s = 0; s < numSlots; ++s)
+        big.slot[s] = mkOp(Opcode::IADDI, RegIndex(70 + s), 5, 0, -7);
+    std::vector<VliwInst> prog = {VliwInst(), big, VliwInst()};
+    EncodedProgram p = encodeProgram(prog, {false, false, false});
+    EXPECT_EQ(p.sizeOf(1), 28u);
+}
+
+TEST(Encode, EntryIsUncompressed)
+{
+    std::vector<VliwInst> prog(2);
+    prog[0].slot[0] = mkOp(Opcode::IADD, 3, 4, 5);
+    EncodedProgram p = encodeProgram(prog, {false, false});
+    EXPECT_TRUE(p.uncompressed[0]);
+    // 1 flag bit + 10 template bits + 5 * 42 = 221 bits -> 28 bytes.
+    EXPECT_EQ(p.sizeOf(0), 28u);
+}
+
+TEST(Encode, RoundtripBasic)
+{
+    std::vector<VliwInst> prog(4);
+    prog[0].slot[0] = mkOp(Opcode::IMM16, 2, 0, 0, 100);
+    prog[0].slot[1] = mkOp(Opcode::IMM16, 3, 0, 0, 200);
+    prog[1].slot[2] = mkOp(Opcode::IADD, 4, 2, 3);
+    prog[1].slot[4] = mkOp(Opcode::LD32D, 5, 2, 0, 16);
+    prog[2].slot[0] = mkOp(Opcode::IADD, 80, 2, 3, 0, 9); // fmt34
+    prog[3].slot[1] = mkOp(Opcode::HALT, 0, 0);
+
+    EncodedProgram p = encodeProgram(prog);
+    std::vector<VliwInst> dec = decodeProgram(p.bytes);
+    ASSERT_EQ(dec.size(), prog.size());
+    for (size_t i = 0; i < prog.size(); ++i)
+        EXPECT_EQ(dec[i], p.insts[i]) << "instruction " << i;
+}
+
+TEST(Encode, TwoSlotRoundtrip)
+{
+    VliwInst inst;
+    Operation mix;
+    mix.opc = Opcode::SUPER_DUALIMIX;
+    mix.guard = regOne;
+    mix.dst = {10, 11};
+    mix.src = {2, 3, 4, 5};
+    inst.slot[1] = mix; // slots 2+3
+
+    Operation sld;
+    sld.opc = Opcode::SUPER_LD32R;
+    sld.dst = {12, 13};
+    sld.src = {0, 0, 6, 7};
+    VliwInst inst2;
+    inst2.slot[3] = sld; // slots 4+5
+
+    std::vector<VliwInst> prog = {VliwInst(), inst, inst2};
+    EncodedProgram p = encodeProgram(prog, {false, false, false});
+    std::vector<VliwInst> dec = decodeProgram(p.bytes);
+    ASSERT_EQ(dec.size(), 3u);
+    EXPECT_EQ(dec[1], inst);
+    EXPECT_EQ(dec[2], inst2);
+}
+
+TEST(Encode, BranchPatchingAndJumpTargets)
+{
+    std::vector<VliwInst> prog(5);
+    prog[0].slot[1] = mkOp(Opcode::JMPI, 0, 0, 0, /*target index*/ 3);
+    prog[3].slot[0] = mkOp(Opcode::IADD, 2, 3, 4);
+    prog[4].slot[1] = mkOp(Opcode::HALT, 0, 0);
+
+    EncodedProgram p = encodeProgram(prog); // derives targets
+    EXPECT_TRUE(p.uncompressed[3]);
+    EXPECT_FALSE(p.uncompressed[2]);
+    // The branch immediate now holds instruction 3's byte offset.
+    const Operation &br = p.insts[0].slot[1];
+    EXPECT_EQ(uint32_t(br.imm), p.offsets[3]);
+    EXPECT_EQ(p.indexAt(p.offsets[3]), 3);
+    // The instruction before a jump target omits its template: it
+    // should shrink relative to one with a successor template.
+    std::vector<VliwInst> dec = decodeProgram(p.bytes);
+    EXPECT_EQ(dec.size(), prog.size());
+}
+
+TEST(Encode, DecodeAtJumpTargetWithoutTemplate)
+{
+    std::vector<VliwInst> prog(4);
+    prog[1].slot[0] = mkOp(Opcode::IADD, 2, 3, 4);
+    prog[2].slot[0] = mkOp(Opcode::ISUB, 5, 6, 7);
+    std::vector<bool> targets = {false, false, true, false};
+    EncodedProgram p = encodeProgram(prog, targets);
+    // Decode instruction 2 directly (as the fetch unit does after a
+    // jump): no template needed.
+    DecodedInst d = decodeInst(p.bytes, p.offsets[2], std::nullopt);
+    EXPECT_EQ(d.inst, p.insts[2]);
+    EXPECT_EQ(d.size, p.sizeOf(2));
+}
+
+TEST(Encode, CompressionBeatsUncompressed)
+{
+    // A program of sparse instructions compresses well (paper: the
+    // scheme efficiently encodes low-ILP code).
+    std::vector<VliwInst> prog(64);
+    for (size_t i = 1; i < prog.size(); ++i)
+        prog[i].slot[i % numSlots] = mkOp(Opcode::IADD, 3, 4, 5);
+    std::vector<bool> targets(prog.size(), false);
+    EncodedProgram p = encodeProgram(prog, targets);
+    // Compressed instructions: 1 + 10 + 26 bits = 5 bytes each,
+    // against 28 uncompressed.
+    for (size_t i = 1; i + 1 < prog.size(); ++i)
+        EXPECT_LE(p.sizeOf(unsigned(i)), 5u);
+}
+
+TEST(Encode, RandomProgramRoundtripProperty)
+{
+    std::mt19937_64 rng(42);
+    auto rnd_reg = [&](unsigned lim) {
+        return RegIndex(rng() % lim);
+    };
+
+    for (int iter = 0; iter < 30; ++iter) {
+        size_t n = 2 + rng() % 40;
+        std::vector<VliwInst> prog(n);
+        std::vector<bool> targets(n, false);
+        for (size_t i = 0; i < n; ++i) {
+            if (rng() % 4 == 0)
+                targets[i] = true;
+            for (unsigned s = 0; s < numSlots; ++s) {
+                unsigned kind = rng() % 8;
+                if (kind < 3)
+                    continue; // leave unused
+                switch (kind) {
+                  case 3:
+                    prog[i].slot[s] = mkOp(Opcode::IADD, rnd_reg(128),
+                                           rnd_reg(128), rnd_reg(128), 0,
+                                           rnd_reg(128));
+                    break;
+                  case 4:
+                    prog[i].slot[s] =
+                        mkOp(Opcode::IADDI, rnd_reg(128), rnd_reg(128), 0,
+                             int32_t(rng() % 4096) - 2048);
+                    break;
+                  case 5:
+                    prog[i].slot[s] = mkOp(Opcode::QUADAVG, rnd_reg(64),
+                                           rnd_reg(64), rnd_reg(64));
+                    break;
+                  case 6:
+                    prog[i].slot[s] = mkOp(Opcode::IMM16, rnd_reg(128), 0,
+                                           0, int32_t(rng() % 65536));
+                    break;
+                  case 7:
+                    if (s == 1 && !prog[i].slot[2].used()) {
+                        Operation mix;
+                        mix.opc = Opcode::SUPER_DUALIMIX;
+                        mix.dst = {rnd_reg(128), rnd_reg(128)};
+                        mix.src = {rnd_reg(128), rnd_reg(128),
+                                   rnd_reg(128), rnd_reg(128)};
+                        mix.guard = rnd_reg(128);
+                        prog[i].slot[s] = mix;
+                        ++s; // keep companion slot free
+                    }
+                    break;
+                }
+            }
+        }
+        EncodedProgram p = encodeProgram(prog, targets);
+        std::vector<VliwInst> dec = decodeProgram(p.bytes);
+        ASSERT_EQ(dec.size(), n);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(dec[i], p.insts[i]) << "iter " << iter << " inst "
+                                          << i;
+    }
+}

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests for the ISA: operation metadata, functional semantics of
+ * the scalar, SIMD and paper-specific operations, and the CABAC
+ * tables/step function (paper Fig. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "isa/cabac_tables.hh"
+#include "isa/op_info.hh"
+#include "isa/semantics.hh"
+#include "support/bitops.hh"
+
+using namespace tm3270;
+
+namespace
+{
+
+Word
+run1(Opcode opc, Word a = 0, Word b = 0, int32_t imm = 0)
+{
+    Operation op;
+    op.opc = opc;
+    op.imm = imm;
+    return execPure(op, {a, b, 0, 0}).dst[0];
+}
+
+ExecResult
+run4(Opcode opc, Word a, Word b, Word c, Word d)
+{
+    Operation op;
+    op.opc = opc;
+    return execPure(op, {a, b, c, d});
+}
+
+} // namespace
+
+TEST(OpInfo, TableConsistency)
+{
+    for (unsigned i = 0; i < numOpcodes; ++i) {
+        auto opc = static_cast<Opcode>(i);
+        const OpInfo &oi = opInfo(opc);
+        EXPECT_FALSE(oi.mnemonic.empty());
+        EXPECT_GT(oi.latency, 0u);
+        EXPECT_NE(oi.slotMask, 0u);
+        EXPECT_EQ(opFromName(oi.mnemonic), opc) << oi.mnemonic;
+    }
+}
+
+TEST(OpInfo, PaperConstraints)
+{
+    // Table 2 latencies and slots.
+    EXPECT_EQ(opInfo(Opcode::SUPER_DUALIMIX).latency, 4u);
+    EXPECT_TRUE(opInfo(Opcode::SUPER_DUALIMIX).isTwoSlot);
+    EXPECT_EQ(opInfo(Opcode::SUPER_DUALIMIX).slotMask, slotBit(2));
+    EXPECT_EQ(opInfo(Opcode::SUPER_LD32R).slotMask, slotBit(4));
+    EXPECT_TRUE(opInfo(Opcode::SUPER_LD32R).isTwoSlot);
+    EXPECT_EQ(opInfo(Opcode::LD_FRAC8).latency, 6u);
+    EXPECT_EQ(opInfo(Opcode::LD_FRAC8).slotMask, slotBit(5));
+    EXPECT_EQ(opInfo(Opcode::SUPER_CABAC_CTX).latency, 4u);
+    EXPECT_EQ(opInfo(Opcode::SUPER_CABAC_STR).latency, 4u);
+    // SUPER_LD32R keeps its sources in the second operation.
+    EXPECT_EQ(opInfo(Opcode::SUPER_LD32R).srcPositions(), 0b1100u);
+}
+
+TEST(Semantics, IntegerAlu)
+{
+    EXPECT_EQ(run1(Opcode::IADD, 2, 3), 5u);
+    EXPECT_EQ(run1(Opcode::ISUB, 2, 3), Word(-1));
+    EXPECT_EQ(run1(Opcode::IAND, 0xF0F0, 0xFF00), 0xF000u);
+    EXPECT_EQ(run1(Opcode::IOR, 0xF0F0, 0x0F0F), 0xFFFFu);
+    EXPECT_EQ(run1(Opcode::IXOR, 0xFF, 0x0F), 0xF0u);
+    EXPECT_EQ(run1(Opcode::BITAND0, 0xFF, 0x0F), 0xF0u);
+    EXPECT_EQ(run1(Opcode::IMIN, Word(-5), 3), Word(-5));
+    EXPECT_EQ(run1(Opcode::IMAX, Word(-5), 3), 3u);
+}
+
+TEST(Semantics, Comparisons)
+{
+    EXPECT_EQ(run1(Opcode::IEQL, 7, 7), 1u);
+    EXPECT_EQ(run1(Opcode::INEQ, 7, 7), 0u);
+    EXPECT_EQ(run1(Opcode::IGTR, Word(-1), 0), 0u); // signed
+    EXPECT_EQ(run1(Opcode::IGTRU, Word(-1), 0), 1u); // unsigned
+    EXPECT_EQ(run1(Opcode::ILES, Word(-1), 0), 1u);
+    EXPECT_EQ(run1(Opcode::ILESU, Word(-1), 0), 0u);
+    EXPECT_EQ(run1(Opcode::IGEQ, 3, 3), 1u);
+    EXPECT_EQ(run1(Opcode::ILEQ, 3, 3), 1u);
+}
+
+TEST(Semantics, Extensions)
+{
+    EXPECT_EQ(run1(Opcode::SEX8, 0x80), 0xFFFFFF80u);
+    EXPECT_EQ(run1(Opcode::ZEX8, 0xFF80), 0x80u);
+    EXPECT_EQ(run1(Opcode::SEX16, 0x8000), 0xFFFF8000u);
+    EXPECT_EQ(run1(Opcode::ZEX16, 0x12345678), 0x5678u);
+}
+
+TEST(Semantics, Shifts)
+{
+    EXPECT_EQ(run1(Opcode::ASL, 1, 31), 0x80000000u);
+    EXPECT_EQ(run1(Opcode::ASR, 0x80000000, 31), 0xFFFFFFFFu);
+    EXPECT_EQ(run1(Opcode::LSR, 0x80000000, 31), 1u);
+    EXPECT_EQ(run1(Opcode::ROL, 0x80000001, 1), 3u);
+    EXPECT_EQ(run1(Opcode::ASLI, 1, 0, 4), 16u);
+    EXPECT_EQ(run1(Opcode::LSRI, 0x100, 0, 4), 0x10u);
+}
+
+TEST(Semantics, Immediates)
+{
+    EXPECT_EQ(run1(Opcode::IADDI, 10, 0, -3), 7u);
+    EXPECT_EQ(run1(Opcode::IMM16, 0, 0, 0xFFFF), 0xFFFFFFFFu);
+    EXPECT_EQ(run1(Opcode::IMM16, 0, 0, 0x7FFF), 0x7FFFu);
+    EXPECT_EQ(run1(Opcode::IMMHI, 0, 0, 0x1234), 0x12340000u);
+    EXPECT_EQ(run1(Opcode::IEQLI, 5, 0, 5), 1u);
+    EXPECT_EQ(run1(Opcode::IGTRI, 5, 0, 4), 1u);
+    EXPECT_EQ(run1(Opcode::ILESI, 5, 0, 4), 0u);
+}
+
+TEST(Semantics, Multiply)
+{
+    EXPECT_EQ(run1(Opcode::IMUL, 7, 6), 42u);
+    EXPECT_EQ(run1(Opcode::IMUL, Word(-3), 4), Word(-12));
+    EXPECT_EQ(run1(Opcode::IMULM, 0x40000000, 4), 1u);
+    EXPECT_EQ(run1(Opcode::UMULM, 0x80000000, 0x80000000), 0x40000000u);
+    EXPECT_EQ(run1(Opcode::IMULM, Word(-1), Word(-1)), 0u);
+}
+
+TEST(Semantics, Float)
+{
+    auto f2w = [](float f) { return std::bit_cast<Word>(f); };
+    auto w2f = [](Word w) { return std::bit_cast<float>(w); };
+    EXPECT_FLOAT_EQ(w2f(run1(Opcode::FADD, f2w(1.5f), f2w(2.25f))), 3.75f);
+    EXPECT_FLOAT_EQ(w2f(run1(Opcode::FSUB, f2w(1.0f), f2w(0.5f))), 0.5f);
+    EXPECT_FLOAT_EQ(w2f(run1(Opcode::FMUL, f2w(3.0f), f2w(-2.0f))), -6.0f);
+    EXPECT_FLOAT_EQ(w2f(run1(Opcode::FDIV, f2w(1.0f), f2w(4.0f))), 0.25f);
+    EXPECT_EQ(run1(Opcode::FTOI, f2w(2.5f), 0), 2u); // round to even
+    EXPECT_FLOAT_EQ(w2f(run1(Opcode::ITOF, Word(-8), 0)), -8.0f);
+    EXPECT_EQ(run1(Opcode::FEQL, f2w(2.0f), f2w(2.0f)), 1u);
+    EXPECT_EQ(run1(Opcode::FGTR, f2w(3.0f), f2w(2.0f)), 1u);
+}
+
+TEST(Semantics, Quad8)
+{
+    EXPECT_EQ(run1(Opcode::QUADAVG, 0x00FF1002, 0x02010203),
+              0x01800903u); // per byte: (0+2+1)/2, (255+1+1)/2, ...
+    EXPECT_EQ(run1(Opcode::QUADADD, 0xFF010203, 0x01010101), 0x00020304u);
+    EXPECT_EQ(run1(Opcode::QUADSUB, 0x00050505, 0x01010101), 0xFF040404u);
+    EXPECT_EQ(run1(Opcode::QUADUMIN, 0x10FF3040, 0x20EE2050), 0x10EE2040u);
+    EXPECT_EQ(run1(Opcode::QUADUMAX, 0x10FF3040, 0x20EE2050), 0x20FF3050u);
+}
+
+TEST(Semantics, Ume8uu)
+{
+    // Sum of absolute differences: |0x10-0x20| + |0xFF-0xEE| +
+    // |0x30-0x20| + |0x40-0x50| = 0x10 + 0x11 + 0x10 + 0x10 = 0x41.
+    EXPECT_EQ(run1(Opcode::UME8UU, 0x10FF3040, 0x20EE2050), 0x41u);
+    EXPECT_EQ(run1(Opcode::UME8UU, 0x12345678, 0x12345678), 0u);
+}
+
+TEST(Semantics, BytePacking)
+{
+    EXPECT_EQ(run1(Opcode::MERGELSB, 0xAABBCCDD, 0x11223344),
+              0xCC33DD44u);
+    EXPECT_EQ(run1(Opcode::MERGEMSB, 0xAABBCCDD, 0x11223344),
+              0xAA11BB22u);
+    EXPECT_EQ(run1(Opcode::PACK16LSB, 0xAAAA1111, 0xBBBB2222),
+              0x11112222u);
+    EXPECT_EQ(run1(Opcode::PACK16MSB, 0xAAAA1111, 0xBBBB2222),
+              0xAAAABBBBu);
+    EXPECT_EQ(run1(Opcode::PACKBYTES, 0x000000AB, 0x000000CD), 0xABCDu);
+    EXPECT_EQ(run1(Opcode::UBYTESEL, 0xAABBCCDD, 2), 0xBBu);
+    EXPECT_EQ(run1(Opcode::FUNSHIFT1, 0xAABBCCDD, 0x11223344),
+              0xBBCCDD11u);
+    EXPECT_EQ(run1(Opcode::FUNSHIFT2, 0xAABBCCDD, 0x11223344),
+              0xCCDD1122u);
+    EXPECT_EQ(run1(Opcode::FUNSHIFT3, 0xAABBCCDD, 0x11223344),
+              0xDD112233u);
+}
+
+TEST(Semantics, Dual16)
+{
+    EXPECT_EQ(run1(Opcode::DSPIDUALADD, 0x7FFF0001, 0x00010001),
+              0x7FFF0002u); // high lane saturates
+    EXPECT_EQ(run1(Opcode::DSPIDUALSUB, 0x80000000, 0x00010001),
+              0x8000FFFFu);
+    EXPECT_EQ(run1(Opcode::DSPIDUALMUL, 0x00020003, 0x00040005),
+              0x0008000Fu);
+    EXPECT_EQ(run1(Opcode::DSPIDUALABS, 0x8000FFFF, 0), 0x7FFF0001u);
+    EXPECT_EQ(run1(Opcode::IFIR16, 0x00020003, 0x00040005), 23u);
+    // ifir16 with negative lanes: (-1)*4 + 3*5 = 11
+    EXPECT_EQ(run1(Opcode::IFIR16, 0xFFFF0003, 0x00040005), 11u);
+}
+
+TEST(Semantics, Ifir8ui)
+{
+    // 4 unsigned bytes times 4 signed bytes:
+    // 0x80*1 + 0x10*(-1) + 0x01*2 + 0x02*3 = 128 - 16 + 2 + 6 = 120
+    EXPECT_EQ(run1(Opcode::IFIR8UI, 0x80100102, 0x01FF0203), 120u);
+}
+
+TEST(Semantics, Clips)
+{
+    EXPECT_EQ(run1(Opcode::ICLIPI, 100, 15), 15u);
+    EXPECT_EQ(run1(Opcode::ICLIPI, Word(-100), 15), Word(-16));
+    EXPECT_EQ(run1(Opcode::UCLIPI, Word(-5), 255), 0u);
+    EXPECT_EQ(run1(Opcode::UCLIPI, 300, 255), 255u);
+    EXPECT_EQ(run1(Opcode::IABS, Word(-5), 0), 5u);
+    EXPECT_EQ(run1(Opcode::IABS, 0x80000000, 0), 0x7FFFFFFFu);
+}
+
+TEST(Semantics, SuperDualimix)
+{
+    // Paper Table 2: pairwise 16-bit 2-tap filter with 32-bit clip.
+    // hi: 2*3 + 4*5 = 26; lo: (-1)*7 + 2*(-2) = -11
+    Word s1 = dual16(2, Word(uint16_t(-1)));
+    Word s2 = dual16(3, 7);
+    Word s3 = dual16(4, 2);
+    Word s4 = dual16(5, Word(uint16_t(-2)));
+    ExecResult r = run4(Opcode::SUPER_DUALIMIX, s1, s2, s3, s4);
+    EXPECT_EQ(r.dst[0], 26u);
+    EXPECT_EQ(r.dst[1], Word(-11));
+}
+
+TEST(Semantics, SuperDualimixSaturates)
+{
+    // (-32768)^2 * 2 = 2^31 overflows int32 -> clipped to INT32_MAX.
+    Word m = dual16(0x8000, 0x8000);
+    ExecResult r = run4(Opcode::SUPER_DUALIMIX, m, m, m, m);
+    EXPECT_EQ(r.dst[0], Word(INT32_MAX));
+    EXPECT_EQ(r.dst[1], Word(INT32_MAX));
+    // The most negative reachable sum stays just inside int32 range.
+    Word p = dual16(0x8000, 0x8000);
+    Word q = dual16(32767, 32767);
+    ExecResult r2 = run4(Opcode::SUPER_DUALIMIX, p, q, p, q);
+    EXPECT_EQ(r2.dst[0], Word(2 * (-32768 * 32767)));
+    EXPECT_EQ(r2.dst[1], Word(2 * (-32768 * 32767)));
+}
+
+TEST(Semantics, InterpolateFrac8)
+{
+    std::array<uint8_t, 5> d = {10, 20, 30, 40, 50};
+    // frac = 0: output equals the first four bytes.
+    EXPECT_EQ(interpolateFrac8(d, 0), 0x0A141E28u);
+    // frac = 8 (half): averages with rounding.
+    Word half = interpolateFrac8(d, 8);
+    EXPECT_EQ(half, ((10 + 20 + 1) / 2 << 24 | (20 + 30 + 1) / 2 << 16 |
+                     (30 + 40 + 1) / 2 << 8 | (40 + 50 + 1) / 2));
+    // Table 2 formula at frac = 5.
+    auto tap = [](int a, int b) { return (a * 11 + b * 5 + 8) / 16; };
+    EXPECT_EQ(interpolateFrac8(d, 5),
+              Word(tap(10, 20) << 24 | tap(20, 30) << 16 |
+                   tap(30, 40) << 8 | tap(40, 50)));
+}
+
+TEST(CabacTables, Shape)
+{
+    // State 63 is the quasi-stationary state.
+    EXPECT_EQ(lpsRangeTable[63][0], 2);
+    EXPECT_EQ(mpsNextStateTable[62], 62);
+    EXPECT_EQ(mpsNextStateTable[63], 63);
+    EXPECT_EQ(lpsNextStateTable[63], 63);
+    // LPS probabilities decrease with state.
+    for (int q = 0; q < 4; ++q) {
+        for (int s = 1; s < 63; ++s)
+            EXPECT_LE(lpsRangeTable[s][q], lpsRangeTable[s - 1][q]);
+    }
+}
+
+TEST(CabacStep, MpsPath)
+{
+    // Large value margin: MPS decoded, state advances.
+    CabacStep st = biariDecodeSymbol(0, 510, 10, 1, 0, 0);
+    EXPECT_EQ(st.bit, 1u);
+    EXPECT_EQ(st.mps, 1u);
+    EXPECT_EQ(st.state, mpsNextStateTable[10]);
+    EXPECT_EQ(st.bitPos, 0u); // no renormalization needed
+}
+
+TEST(CabacStep, LpsPath)
+{
+    uint32_t range = 510;
+    uint32_t rlps = lpsRangeTable[10][(range >> 6) & 3];
+    // value just above range - rlps forces the LPS path.
+    CabacStep st = biariDecodeSymbol(range - rlps, range, 10, 1,
+                                     0xFFFFFFFF, 0);
+    EXPECT_EQ(st.bit, 0u);
+    EXPECT_EQ(st.state, lpsNextStateTable[10]);
+    EXPECT_GT(st.bitPos, 0u); // LPS renormalizes
+}
+
+TEST(CabacStep, MpsFlipAtStateZero)
+{
+    uint32_t range = 510;
+    uint32_t rlps = lpsRangeTable[0][(range >> 6) & 3];
+    CabacStep st = biariDecodeSymbol(range - rlps, range, 0, 1, 0, 0);
+    EXPECT_EQ(st.mps, 0u); // MPS flips only at state 0
+}
+
+TEST(CabacStep, RenormConsumesAtMost8Bits)
+{
+    std::mt19937_64 rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        uint32_t range = 256 + rng() % 255;
+        uint32_t value = rng() % range;
+        uint32_t state = rng() % 64;
+        uint32_t pos = rng() % 8;
+        CabacStep st = biariDecodeSymbol(value, range, state, rng() & 1,
+                                         uint32_t(rng()), pos);
+        EXPECT_LE(st.bitPos - pos, 8u);
+        EXPECT_GE(st.range, 256u);
+        EXPECT_LT(st.range, 512u);
+        EXPECT_LT(st.value, 1024u);
+    }
+}

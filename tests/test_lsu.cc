@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the load/store unit (paper §4): write-miss policies,
+ * byte-validity interaction, non-aligned and line-crossing accesses,
+ * big-endian data assembly, the CWB, LD_FRAC8 and SUPER_LD32R data
+ * paths, MMIO routing, and the prefetch engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lsu/lsu.hh"
+#include "prefetch/region_prefetcher.hh"
+
+using namespace tm3270;
+
+namespace
+{
+
+struct LsuFixture : ::testing::Test
+{
+    MainMemory mem{1 << 22};
+    Biu biu{mem, 350};
+    CacheGeometry geom{"dcache", 8 * 1024, 4, 128, true};
+    LsuConfig cfg{};
+    Lsu lsu{cfg, geom, biu, mem};
+
+    void
+    fill(Addr base, unsigned len)
+    {
+        for (unsigned i = 0; i < len; ++i)
+            mem.setByte(base + i, uint8_t(i * 7 + 3));
+    }
+};
+
+struct Tm3260LsuFixture : ::testing::Test
+{
+    MainMemory mem{1 << 22};
+    Biu biu{mem, 240};
+    CacheGeometry geom{"dcache", 8 * 1024, 8, 64, true};
+    LsuConfig cfg = [] {
+        LsuConfig c;
+        c.allocateOnWriteMiss = false;
+        return c;
+    }();
+    Lsu lsu{cfg, geom, biu, mem};
+};
+
+} // namespace
+
+TEST_F(LsuFixture, LoadMissThenHit)
+{
+    fill(0x1000, 128);
+    MemResult r1 = lsu.load(Opcode::LD32D, 0x1000, 0, 0);
+    EXPECT_GT(r1.stall, 0u);
+    MemResult r2 = lsu.load(Opcode::LD32D, 0x1004, 0, 100);
+    EXPECT_EQ(r2.stall, 0u);
+    EXPECT_EQ(lsu.stats.get("load_line_misses"), 1u);
+    EXPECT_EQ(lsu.stats.get("load_line_hits"), 1u);
+}
+
+TEST_F(LsuFixture, BigEndianLoadAssembly)
+{
+    mem.setByte(0x1000, 0x12);
+    mem.setByte(0x1001, 0x34);
+    mem.setByte(0x1002, 0x56);
+    mem.setByte(0x1003, 0x78);
+    EXPECT_EQ(lsu.load(Opcode::LD32D, 0x1000, 0, 0).data[0], 0x12345678u);
+    EXPECT_EQ(lsu.load(Opcode::LD16U, 0x1000, 0, 0).data[0], 0x1234u);
+    EXPECT_EQ(lsu.load(Opcode::LD8U, 0x1001, 0, 0).data[0], 0x34u);
+}
+
+TEST_F(LsuFixture, SignExtension)
+{
+    mem.setByte(0x1000, 0x80);
+    mem.setByte(0x1001, 0x01);
+    EXPECT_EQ(lsu.load(Opcode::LD8S, 0x1000, 0, 0).data[0], 0xFFFFFF80u);
+    EXPECT_EQ(lsu.load(Opcode::LD16S, 0x1000, 0, 0).data[0], 0xFFFF8001u);
+}
+
+TEST_F(LsuFixture, StoreThenLoadRoundtrip)
+{
+    lsu.store(Opcode::ST32D, 0x2000, 0xDEADBEEF, 0);
+    EXPECT_EQ(lsu.load(Opcode::LD32D, 0x2000, 0, 10).data[0], 0xDEADBEEFu);
+    lsu.store(Opcode::ST16D, 0x2004, 0xABCD, 20);
+    EXPECT_EQ(lsu.load(Opcode::LD16U, 0x2004, 0, 30).data[0], 0xABCDu);
+    lsu.store(Opcode::ST8D, 0x2006, 0x42, 40);
+    EXPECT_EQ(lsu.load(Opcode::LD8U, 0x2006, 0, 50).data[0], 0x42u);
+}
+
+TEST_F(LsuFixture, AllocateOnWriteMissDoesNotFetch)
+{
+    Cycles stall = lsu.store(Opcode::ST32D, 0x3000, 1, 0);
+    EXPECT_EQ(stall, 0u); // no fetch on the TM3270
+    EXPECT_EQ(biu.stats.get("demand_reads"), 0u);
+    EXPECT_EQ(lsu.stats.get("store_allocations"), 1u);
+}
+
+TEST_F(LsuFixture, PartialLineLoadAfterStoreMerges)
+{
+    // Allocate-on-write leaves most of the line invalid; a load of an
+    // unwritten byte triggers a validity miss (refill merge).
+    fill(0x3000, 128);
+    lsu.store(Opcode::ST32D, 0x3000, 0x01020304, 0);
+    MemResult r = lsu.load(Opcode::LD32D, 0x3010, 0, 10);
+    EXPECT_GT(r.stall, 0u);
+    EXPECT_EQ(lsu.stats.get("load_validity_misses"), 1u);
+    // The earlier store data survived the merge.
+    EXPECT_EQ(lsu.load(Opcode::LD32D, 0x3000, 0, 100).data[0],
+              0x01020304u);
+}
+
+TEST_F(Tm3260LsuFixture, FetchOnWriteMissStallsAndFetches)
+{
+    Cycles stall = lsu.store(Opcode::ST32D, 0x3000, 1, 0);
+    EXPECT_GT(stall, 0u);
+    EXPECT_EQ(biu.stats.get("demand_reads"), 1u);
+}
+
+TEST_F(LsuFixture, NonAlignedWithinLineIsPenaltyFree)
+{
+    fill(0x1000, 256);
+    lsu.load(Opcode::LD32D, 0x1000, 0, 0); // warm the line
+    MemResult r = lsu.load(Opcode::LD32D, 0x1001, 0, 100); // unaligned
+    EXPECT_EQ(r.stall, 0u);
+    EXPECT_EQ(r.data[0], (Word(mem.byteAt(0x1001)) << 24 |
+                          Word(mem.byteAt(0x1002)) << 16 |
+                          Word(mem.byteAt(0x1003)) << 8 |
+                          mem.byteAt(0x1004)));
+    EXPECT_GE(lsu.stats.get("nonaligned_loads"), 1u);
+}
+
+TEST_F(LsuFixture, LineCrossingLoadCanDoubleMiss)
+{
+    fill(0x1000, 256);
+    // 0x107E..0x1081 crosses the line boundary at 0x1080.
+    MemResult r = lsu.load(Opcode::LD32D, 0x107E, 0, 0);
+    EXPECT_GT(r.stall, 0u);
+    EXPECT_EQ(lsu.stats.get("load_line_misses"), 2u);
+    EXPECT_EQ(lsu.stats.get("load_line_crossings"), 1u);
+    EXPECT_EQ(r.data[0], (Word(mem.byteAt(0x107E)) << 24 |
+                          Word(mem.byteAt(0x107F)) << 16 |
+                          Word(mem.byteAt(0x1080)) << 8 |
+                          mem.byteAt(0x1081)));
+}
+
+TEST_F(LsuFixture, SuperLd32rReturnsTwoBigEndianWords)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        mem.setByte(0x1000 + i, uint8_t(i + 1));
+    MemResult r = lsu.load(Opcode::SUPER_LD32R, 0x1000, 0, 0);
+    EXPECT_EQ(r.data[0], 0x01020304u);
+    EXPECT_EQ(r.data[1], 0x05060708u);
+}
+
+TEST_F(LsuFixture, LdFrac8Interpolates)
+{
+    uint8_t px[5] = {10, 20, 30, 40, 50};
+    for (unsigned i = 0; i < 5; ++i)
+        mem.setByte(0x1000 + i, px[i]);
+    MemResult r = lsu.load(Opcode::LD_FRAC8, 0x1000, 8, 0);
+    EXPECT_EQ(r.data[0], ((10 + 20 + 1) / 2 << 24 | (20 + 30 + 1) / 2 << 16
+                          | (30 + 40 + 1) / 2 << 8 | (40 + 50 + 1) / 2));
+}
+
+TEST_F(LsuFixture, CwbBackpressure)
+{
+    // Burst more stores than the CWB depth in a single cycle window.
+    Cycles total_stall = 0;
+    for (unsigned i = 0; i <= cfg.cwbDepth + 2; ++i)
+        total_stall += lsu.store(Opcode::ST32D, 0x4000 + 4 * i, i, 0);
+    EXPECT_GT(lsu.stats.get("cwb_full_stalls"), 0u);
+    EXPECT_GT(total_stall, 0u);
+}
+
+TEST_F(LsuFixture, RegionPrefetchInstallsNextLine)
+{
+    fill(0x8000, 4096);
+    lsu.prefetcher().setRegion(0, 0x8000, 0x9000, 128);
+    MemResult r1 = lsu.load(Opcode::LD32D, 0x8000, 0, 0);
+    Cycles now = r1.stall;
+    // Let the prefetch issue and complete.
+    for (int i = 0; i < 200; ++i)
+        lsu.tick(now + 200 + i);
+    EXPECT_GE(lsu.stats.get("prefetch_issued"), 1u);
+    // The next line is already resident: no stall.
+    MemResult r2 = lsu.load(Opcode::LD32D, 0x8080, 0, 1000);
+    EXPECT_EQ(r2.stall, 0u);
+    EXPECT_GE(lsu.stats.get("prefetch_useful"), 1u);
+}
+
+TEST_F(LsuFixture, PrefetchStopsAtRegionEnd)
+{
+    fill(0x8000, 4096);
+    lsu.prefetcher().setRegion(0, 0x8000, 0x8100, 128);
+    // Load in the last line of the region: target outside -> no
+    // prefetch request.
+    lsu.load(Opcode::LD32D, 0x8080, 0, 0);
+    EXPECT_EQ(lsu.stats.get("prefetch_requests"), 0u);
+}
+
+TEST_F(LsuFixture, DemandWaitsForInflightPrefetch)
+{
+    fill(0x8000, 4096);
+    lsu.prefetcher().setRegion(0, 0x8000, 0x9000, 128);
+    MemResult r1 = lsu.load(Opcode::LD32D, 0x8000, 0, 0);
+    Cycles now = r1.stall + 1;
+    lsu.tick(now); // prefetch of 0x8080 issues
+    // Demand the prefetched line immediately: partial stall.
+    MemResult r2 = lsu.load(Opcode::LD32D, 0x8080, 0, now);
+    MainMemory ref(1 << 22);
+    Cycles full = ref.transactionCycles(0x8080, 128) * 350 / 200;
+    EXPECT_GT(r2.stall, 0u);
+    EXPECT_LE(r2.stall, full + 8);
+    EXPECT_GE(lsu.stats.get("load_prefetch_waits"), 1u);
+}
+
+TEST_F(LsuFixture, SoftwarePrefetchWarmsLine)
+{
+    fill(0x9000, 256);
+    lsu.softwarePrefetch(0x9000, 0);
+    for (int i = 0; i < 200; ++i)
+        lsu.tick(i);
+    MemResult r = lsu.load(Opcode::LD32D, 0x9000, 0, 500);
+    EXPECT_EQ(r.stall, 0u);
+}
+
+TEST_F(LsuFixture, FlushMakesMemoryCoherent)
+{
+    lsu.store(Opcode::ST32D, 0x5000, 0xCAFEBABE, 0);
+    lsu.flushCaches();
+    EXPECT_EQ(mem.byteAt(0x5000), 0xCA);
+    EXPECT_EQ(mem.byteAt(0x5003), 0xBE);
+}
+
+namespace
+{
+
+/** MMIO device recording accesses. */
+struct TestMmio : MmioDevice
+{
+    Addr lastWrite = 0;
+    Word lastValue = 0;
+    bool handles(Addr a) const override { return a >= 0xE0000000; }
+    Word read(Addr a) override { return a & 0xFFFF; }
+    void
+    write(Addr a, Word v) override
+    {
+        lastWrite = a;
+        lastValue = v;
+    }
+};
+
+} // namespace
+
+TEST_F(LsuFixture, MmioBypassesCache)
+{
+    TestMmio dev;
+    lsu.setMmio(&dev);
+    lsu.store(Opcode::ST32D, 0xE0000200, 77, 0);
+    EXPECT_EQ(dev.lastWrite, 0xE0000200u);
+    EXPECT_EQ(dev.lastValue, 77u);
+    EXPECT_EQ(lsu.load(Opcode::LD32D, 0xE0001234, 0, 0).data[0], 0x1234u);
+    EXPECT_EQ(lsu.dcache().stats.get("allocations"), 0u);
+}

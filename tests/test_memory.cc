@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the DDR memory model and the bus interface unit: byte
+ * masking, open-row timing, clock-domain conversion, demand priority
+ * over prefetch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "memory/biu.hh"
+#include "memory/main_memory.hh"
+
+using namespace tm3270;
+
+TEST(MainMemory, ReadWriteRoundtrip)
+{
+    MainMemory mem(1 << 20);
+    uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    mem.write(0x100, data, 8);
+    uint8_t out[8] = {};
+    mem.read(0x100, out, 8);
+    EXPECT_EQ(std::memcmp(data, out, 8), 0);
+}
+
+TEST(MainMemory, MaskedWrite)
+{
+    MainMemory mem(4096);
+    uint8_t base[4] = {0xAA, 0xAA, 0xAA, 0xAA};
+    mem.write(0, base, 4);
+    uint8_t data[4] = {1, 2, 3, 4};
+    uint8_t mask[1] = {0b0101}; // bytes 0 and 2 only
+    mem.write(0, data, 4, mask);
+    EXPECT_EQ(mem.byteAt(0), 1);
+    EXPECT_EQ(mem.byteAt(1), 0xAA);
+    EXPECT_EQ(mem.byteAt(2), 3);
+    EXPECT_EQ(mem.byteAt(3), 0xAA);
+}
+
+TEST(MainMemory, RowHitFasterThanRowMiss)
+{
+    MainMemory mem(1 << 22);
+    Cycles first = mem.transactionCycles(0x0000, 128);
+    Cycles hit = mem.transactionCycles(0x0200, 128);  // same bank+row
+    EXPECT_LT(hit, first);
+    // Different row in the same bank: precharge + activate.
+    Cycles miss = mem.transactionCycles(0x0000 + (1 << 14), 128);
+    EXPECT_GT(miss, hit);
+    EXPECT_EQ(mem.stats.get("row_hits"), 1u);
+    EXPECT_EQ(mem.stats.get("row_misses"), 2u);
+}
+
+TEST(MainMemory, BurstLengthScalesWithBytes)
+{
+    MainMemory mem(1 << 20);
+    mem.resetTiming();
+    Cycles c128 = mem.transactionCycles(0x0000, 128);
+    mem.resetTiming();
+    Cycles c64 = mem.transactionCycles(0x0000, 64);
+    // 128-byte burst is 8 memory cycles longer at 8 bytes/cycle.
+    EXPECT_EQ(c128 - c64, 8u);
+}
+
+TEST(MainMemory, OutOfBoundsPanics)
+{
+    MainMemory mem(256);
+    uint8_t b;
+    EXPECT_DEATH(mem.read(250, &b, 8), "out of bounds");
+}
+
+TEST(Biu, ClockDomainConversion)
+{
+    MainMemory mem(1 << 20);
+    // 350 MHz CPU, 200 MHz memory: CPU cycles = mem cycles * 1.75.
+    Biu biu(mem, 350);
+    Cycles done = biu.demandRead(0, 128, 1000);
+    mem.resetTiming();
+    MainMemory mem2(1 << 20);
+    Cycles mem_cycles = mem2.transactionCycles(0, 128);
+    Cycles expect = (mem_cycles * 350 + 199) / 200;
+    EXPECT_EQ(done, 1000 + expect);
+}
+
+TEST(Biu, BusSerializesTransactions)
+{
+    MainMemory mem(1 << 20);
+    Biu biu(mem, 350);
+    Cycles d1 = biu.demandRead(0x0000, 128, 0);
+    // Second read issued while the bus is still busy waits.
+    Cycles d2 = biu.demandRead(0x10000, 128, 1);
+    EXPECT_GE(d2, d1);
+    EXPECT_GT(biu.stats.get("bus_wait_cycles"), 0u);
+}
+
+TEST(Biu, PrefetchYieldsToBusyBus)
+{
+    MainMemory mem(1 << 20);
+    Biu biu(mem, 350);
+    Cycles d1 = biu.demandRead(0, 128, 0);
+    // Prefetch while busy: rejected.
+    EXPECT_EQ(biu.prefetchRead(0x8000, 128, d1 - 1), 0u);
+    // Prefetch on an idle bus: accepted.
+    Cycles p = biu.prefetchRead(0x8000, 128, d1);
+    EXPECT_GT(p, d1);
+}
+
+TEST(Biu, AsyncWriteOccupiesBus)
+{
+    MainMemory mem(1 << 20);
+    Biu biu(mem, 350);
+    Cycles w = biu.asyncWrite(0, 128, 0);
+    EXPECT_GT(w, 0u);
+    // A demand read right after the write starts must wait.
+    Cycles r = biu.demandRead(0x40000, 128, 1);
+    EXPECT_GT(r, w);
+}
+
+TEST(Biu, FrequencyAffectsLatencyInCpuCycles)
+{
+    MainMemory m1(1 << 20), m2(1 << 20);
+    Biu fast(m1, 350), slow(m2, 240);
+    Cycles f = fast.demandRead(0, 128, 0);
+    Cycles s = slow.demandRead(0, 128, 0);
+    // The same DRAM transaction costs more *CPU* cycles at 350 MHz.
+    EXPECT_GT(f, s);
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Power/area model tests (paper Table 4, §5): published area numbers,
+ * calibration exactness, voltage scaling, and the OPI/CPI dependence
+ * claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+using namespace tm3270;
+
+TEST(AreaModel, PublishedNumbers)
+{
+    EXPECT_DOUBLE_EQ(moduleAreaMm2(Module::IFU), 1.46);
+    EXPECT_DOUBLE_EQ(moduleAreaMm2(Module::Decode), 0.05);
+    EXPECT_DOUBLE_EQ(moduleAreaMm2(Module::Regfile), 0.97);
+    EXPECT_DOUBLE_EQ(moduleAreaMm2(Module::Execute), 1.53);
+    EXPECT_DOUBLE_EQ(moduleAreaMm2(Module::LS), 3.60);
+    EXPECT_DOUBLE_EQ(moduleAreaMm2(Module::BIU), 0.24);
+    EXPECT_DOUBLE_EQ(moduleAreaMm2(Module::MMIO), 0.23);
+    EXPECT_NEAR(totalAreaMm2(), 8.08, 1e-9);
+}
+
+TEST(AreaModel, LoadStoreUnitIsLargest)
+{
+    // Paper: "The load/store unit is the largest module".
+    for (unsigned i = 0; i < numModules; ++i) {
+        if (static_cast<Module>(i) != Module::LS)
+            EXPECT_LT(moduleAreaMm2(static_cast<Module>(i)),
+                      moduleAreaMm2(Module::LS));
+    }
+}
+
+namespace
+{
+
+ActivitySample
+mp3Point()
+{
+    ActivitySample a;
+    a.issueRate = 0.95;
+    a.ifu = 0.8;
+    a.decode = 4.3;
+    a.regfile = 11.0;
+    a.execute = 4.1;
+    a.ls = 0.9;
+    a.biu = 0.004;
+    a.mmio = 1.0;
+    a.opi = 4.5;
+    a.cpi = 1.05;
+    return a;
+}
+
+} // namespace
+
+TEST(PowerModel, CalibrationReproducesTable4)
+{
+    PowerModel m;
+    ActivitySample mp3 = mp3Point();
+    m.calibrate(mp3);
+    for (unsigned i = 0; i < numModules; ++i) {
+        auto mod = static_cast<Module>(i);
+        EXPECT_NEAR(m.moduleMwPerMhz(mod, mp3, 1.2),
+                    paperPowerMwPerMhz(mod), 1e-9)
+            << moduleName(mod);
+    }
+}
+
+TEST(PowerModel, VoltageScalingIsQuadratic)
+{
+    PowerModel m;
+    ActivitySample mp3 = mp3Point();
+    m.calibrate(mp3);
+    double p12 = m.totalMwPerMhz(mp3, 1.2);
+    double p08 = m.totalMwPerMhz(mp3, 0.8);
+    EXPECT_NEAR(p08 / p12, (0.8 * 0.8) / (1.2 * 1.2), 1e-9);
+}
+
+TEST(PowerModel, StallsReducePower)
+{
+    PowerModel m;
+    ActivitySample mp3 = mp3Point();
+    m.calibrate(mp3);
+
+    // A stalled variant of the same workload: activities halve.
+    ActivitySample stalled = mp3;
+    stalled.issueRate /= 2;
+    stalled.ifu /= 2;
+    stalled.decode /= 2;
+    stalled.regfile /= 2;
+    stalled.execute /= 2;
+    stalled.ls /= 2;
+    EXPECT_LT(m.totalMwPerMhz(stalled, 1.2),
+              m.totalMwPerMhz(mp3, 1.2));
+    // ... but the BIU's share grows (paper: applications with larger
+    // CPI use relatively more power in the BIU).
+    double biu_share_busy = m.moduleMwPerMhz(Module::BIU, mp3, 1.2) /
+                            m.totalMwPerMhz(mp3, 1.2);
+    ActivitySample memory_bound = stalled;
+    memory_bound.biu = 0.2;
+    double biu_share_stalled =
+        m.moduleMwPerMhz(Module::BIU, memory_bound, 1.2) /
+        m.totalMwPerMhz(memory_bound, 1.2);
+    EXPECT_GT(biu_share_stalled, biu_share_busy);
+}
+
+TEST(PowerModel, HigherOpiCostsMorePower)
+{
+    PowerModel m;
+    ActivitySample mp3 = mp3Point();
+    m.calibrate(mp3);
+    ActivitySample dense = mp3;
+    dense.decode *= 1.1;
+    dense.execute *= 1.1;
+    dense.regfile *= 1.1;
+    EXPECT_GT(m.totalMwPerMhz(dense, 1.2), m.totalMwPerMhz(mp3, 1.2));
+}
+
+TEST(PowerModel, PaperHeadlineNumbers)
+{
+    // 0.935 * (0.8^2 / 1.2^2) = 0.415 (paper §5.2).
+    EXPECT_NEAR(0.935 * (0.8 * 0.8) / (1.2 * 1.2), 0.4155, 1e-3);
+    // 8 MHz * 0.415 mW/MHz = 3.32 mW.
+    EXPECT_NEAR(8.0 * 0.415, 3.32, 1e-9);
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the region prefetch policy (paper §2.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/region_prefetcher.hh"
+
+using namespace tm3270;
+
+TEST(RegionPrefetcher, DisabledByDefault)
+{
+    RegionPrefetcher pf;
+    EXPECT_FALSE(pf.onLoad(0x1000).has_value());
+}
+
+TEST(RegionPrefetcher, StrideWithinRegion)
+{
+    RegionPrefetcher pf;
+    pf.setRegion(0, 0x1000, 0x2000, 0x100);
+    auto t = pf.onLoad(0x1000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x1100u);
+}
+
+TEST(RegionPrefetcher, NoPrefetchPastRegionEnd)
+{
+    RegionPrefetcher pf;
+    pf.setRegion(0, 0x1000, 0x2000, 0x100);
+    EXPECT_FALSE(pf.onLoad(0x1F80).has_value());
+    // Exactly at the last stride inside: ok.
+    EXPECT_TRUE(pf.onLoad(0x1EFF).has_value());
+}
+
+TEST(RegionPrefetcher, OutsideRegionIgnored)
+{
+    RegionPrefetcher pf;
+    pf.setRegion(0, 0x1000, 0x2000, 0x100);
+    EXPECT_FALSE(pf.onLoad(0x0FFF).has_value());
+    EXPECT_FALSE(pf.onLoad(0x2000).has_value());
+}
+
+TEST(RegionPrefetcher, NegativeStride)
+{
+    RegionPrefetcher pf;
+    pf.setRegion(1, 0x1000, 0x2000, -0x100);
+    auto t = pf.onLoad(0x1800);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x1700u);
+    EXPECT_FALSE(pf.onLoad(0x1040).has_value()); // would leave region
+}
+
+TEST(RegionPrefetcher, FourIndependentRegions)
+{
+    RegionPrefetcher pf;
+    pf.setRegion(0, 0x1000, 0x2000, 0x80);
+    pf.setRegion(1, 0x3000, 0x4000, 0x200);
+    pf.setRegion(2, 0x5000, 0x6000, 0x40);
+    pf.setRegion(3, 0x7000, 0x8000, 0x400);
+    EXPECT_EQ(*pf.onLoad(0x1000), 0x1080u);
+    EXPECT_EQ(*pf.onLoad(0x3000), 0x3200u);
+    EXPECT_EQ(*pf.onLoad(0x5000), 0x5040u);
+    EXPECT_EQ(*pf.onLoad(0x7000), 0x7400u);
+}
+
+TEST(RegionPrefetcher, FirstMatchingRegionWins)
+{
+    RegionPrefetcher pf;
+    pf.setRegion(0, 0x1000, 0x3000, 0x80);
+    pf.setRegion(1, 0x2000, 0x4000, 0x100); // overlaps region 0
+    EXPECT_EQ(*pf.onLoad(0x2000), 0x2080u);
+}
+
+TEST(RegionPrefetcher, ImageRowStrideExample)
+{
+    // Paper Fig. 3: image processed in 4x4 blocks; stride = image
+    // width * block height so the row of blocks below is prefetched.
+    constexpr Addr image = 0x100000;
+    constexpr unsigned width = 720;
+    RegionPrefetcher pf;
+    pf.setRegion(0, image, image + width * 480, int32_t(width * 4));
+    auto t = pf.onLoad(image + 3 * width + 16); // inside block row 0
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, image + 7 * width + 16);
+}
+
+TEST(RegionPrefetcher, ResetDisablesAll)
+{
+    RegionPrefetcher pf;
+    pf.setRegion(0, 0x1000, 0x2000, 0x80);
+    pf.reset();
+    EXPECT_FALSE(pf.onLoad(0x1000).has_value());
+}
+
+TEST(RegionPrefetcher, ZeroStrideDisabled)
+{
+    RegionPrefetcher pf;
+    pf.setRegion(0, 0x1000, 0x2000, 0);
+    EXPECT_FALSE(pf.onLoad(0x1000).has_value());
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the support library: bit utilities, saturation,
+ * bitstreams and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "support/bitops.hh"
+#include "support/bitstream.hh"
+#include "support/logging.hh"
+#include "support/saturate.hh"
+#include "support/stats.hh"
+
+using namespace tm3270;
+
+TEST(BitOps, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(BitOps, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(128), 7u);
+    EXPECT_EQ(log2i(1ull << 31), 31u);
+}
+
+TEST(BitOps, BitsExtractInsert)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 8, 8), 0xBEu);
+    EXPECT_EQ(bits(0xDEADBEEF, 0, 32), 0xDEADBEEFu);
+    EXPECT_EQ(insertBits(0, 8, 8, 0xFF), 0xFF00u);
+    EXPECT_EQ(insertBits(0xFFFFFFFF, 4, 4, 0), 0xFFFFFF0Fu);
+}
+
+TEST(BitOps, SignExtend)
+{
+    EXPECT_EQ(sext(0xFFF, 12), -1);
+    EXPECT_EQ(sext(0x7FF, 12), 2047);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+}
+
+TEST(BitOps, Fits)
+{
+    EXPECT_TRUE(fitsSigned(-2048, 12));
+    EXPECT_FALSE(fitsSigned(-2049, 12));
+    EXPECT_TRUE(fitsSigned(2047, 12));
+    EXPECT_FALSE(fitsSigned(2048, 12));
+    EXPECT_TRUE(fitsUnsigned(4095, 12));
+    EXPECT_FALSE(fitsUnsigned(4096, 12));
+}
+
+TEST(BitOps, Align)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230u);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240u);
+    EXPECT_EQ(alignUp(0x1230, 16), 0x1230u);
+}
+
+TEST(BitOps, Dual16)
+{
+    EXPECT_EQ(dual16(0x1234, 0x5678), 0x12345678u);
+    EXPECT_EQ(dual16Hi(0x12345678), 0x1234u);
+    EXPECT_EQ(dual16Lo(0x12345678), 0x5678u);
+    EXPECT_EQ(dual16(0xFFFF1, 0xFFFF2), 0xFFF1FFF2u);
+}
+
+TEST(Saturate, ClipS32)
+{
+    EXPECT_EQ(clipS32(int64_t(INT32_MAX) + 5), INT32_MAX);
+    EXPECT_EQ(clipS32(int64_t(INT32_MIN) - 5), INT32_MIN);
+    EXPECT_EQ(clipS32(42), 42);
+}
+
+TEST(Saturate, ClipS16)
+{
+    EXPECT_EQ(clipS16(40000), 32767);
+    EXPECT_EQ(clipS16(-40000), -32768);
+    EXPECT_EQ(clipS16(-5), -5);
+}
+
+TEST(Saturate, ClipU8)
+{
+    EXPECT_EQ(clipU8(-1), 0);
+    EXPECT_EQ(clipU8(256), 255);
+    EXPECT_EQ(clipU8(128), 128);
+}
+
+TEST(Bitstream, RoundtripFixed)
+{
+    BitWriter w;
+    w.put(0x2A, 6);
+    w.put(0x1, 1);
+    w.put(0xDEADBEEF, 32);
+    w.alignByte();
+    w.put(0xFF, 8);
+
+    BitReader r(w.data());
+    EXPECT_EQ(r.get(6), 0x2Au);
+    EXPECT_EQ(r.get(1), 1u);
+    EXPECT_EQ(r.get(32), 0xDEADBEEFu);
+    r.alignByte();
+    EXPECT_EQ(r.get(8), 0xFFu);
+}
+
+TEST(Bitstream, RoundtripRandomProperty)
+{
+    std::mt19937_64 rng(7);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::vector<std::pair<uint64_t, unsigned>> fields;
+        BitWriter w;
+        for (int i = 0; i < 100; ++i) {
+            unsigned len = 1 + unsigned(rng() % 33);
+            uint64_t v = rng() & ((len >= 64) ? ~0ULL : ((1ULL << len) - 1));
+            fields.emplace_back(v, len);
+            w.put(v, len);
+        }
+        BitReader r(w.data());
+        for (auto &[v, len] : fields)
+            EXPECT_EQ(r.get(len), v);
+    }
+}
+
+TEST(Bitstream, BitSizeTracksPadding)
+{
+    BitWriter w;
+    w.put(0x3, 11);
+    EXPECT_EQ(w.bitSize(), 11u);
+    EXPECT_EQ(w.size(), 2u);
+    w.alignByte();
+    w.put(1, 1);
+    EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(Bitstream, UnderflowThrows)
+{
+    BitWriter w;
+    w.put(0xAB, 8);
+    BitReader r(w.data());
+    r.get(8);
+    EXPECT_THROW(r.getBit(), FatalError);
+}
+
+TEST(Stats, Counters)
+{
+    StatGroup g("grp");
+    EXPECT_EQ(g.get("x"), 0u);
+    g.inc("x");
+    g.inc("x", 4);
+    EXPECT_EQ(g.get("x"), 5u);
+    g.set("y", 100);
+    EXPECT_EQ(g.get("y"), 100u);
+    g.reset();
+    EXPECT_EQ(g.get("x"), 0u);
+    EXPECT_EQ(g.get("y"), 0u);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("test %d", 42), FatalError);
+    try {
+        fatal("value %d", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value 7");
+    }
+}
+
+TEST(Logging, Strfmt)
+{
+    EXPECT_EQ(strfmt("%s-%04d", "abc", 42), "abc-0042");
+}

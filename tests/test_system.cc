@@ -1,0 +1,237 @@
+/**
+ * @file
+ * System-level tests: big-endian staging helpers, dual stores per
+ * instruction (the paper's dual-tag-copy design point), debug MMIO,
+ * DVFS frequency changes, and parameterized property sweeps — every
+ * cache geometry must be functionally transparent (cache + flush ==
+ * direct memory writes) under random access sequences, for both
+ * write-miss policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/mmio.hh"
+#include "support/logging.hh"
+#include "core/system.hh"
+#include "tir/builder.hh"
+#include "tir/scheduler.hh"
+
+using namespace tm3270;
+
+TEST(System, BigEndianPokePeek)
+{
+    System sys(tm3270Config());
+    sys.poke32(0x100, 0x11223344);
+    EXPECT_EQ(sys.memory.byteAt(0x100), 0x11);
+    EXPECT_EQ(sys.memory.byteAt(0x103), 0x44);
+    EXPECT_EQ(sys.peek32(0x100), 0x11223344u);
+}
+
+TEST(System, TwoStoresPerInstruction)
+{
+    // Paper §4.2: slots 4 and 5 each have a tag-memory copy so two
+    // stores can issue in one VLIW instruction.
+    std::vector<VliwInst> prog(3);
+    Operation imm;
+    imm.opc = Opcode::IMM16;
+    imm.dst[0] = 2;
+    imm.imm = 0x1000;
+    prog[0].slot[0] = imm;
+    Operation v1 = imm, v2 = imm;
+    v1.dst[0] = 3;
+    v1.imm = 0x0AAA;
+    v2.dst[0] = 4;
+    v2.imm = 0x0BBB;
+    prog[0].slot[1] = v1;
+    prog[0].slot[2] = v2;
+
+    Operation st1, st2;
+    st1.opc = Opcode::ST32D;
+    st1.guard = regOne;
+    st1.src[0] = 2;
+    st1.dst[0] = 3;
+    st1.imm = 0;
+    st2 = st1;
+    st2.dst[0] = 4;
+    st2.imm = 4;
+    prog[1].slot[3] = st1; // issue slot 4
+    prog[1].slot[4] = st2; // issue slot 5
+
+    Operation halt;
+    halt.opc = Opcode::HALT;
+    halt.guard = regOne;
+    prog[2].slot[1] = halt;
+
+    System sys(tm3270Config());
+    RunResult r = sys.runProgram(encodeProgram(prog));
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(sys.peek32(0x1000), 0x0AAAu);
+    EXPECT_EQ(sys.peek32(0x1004), 0x0BBBu);
+}
+
+TEST(System, DebugCharacterOutput)
+{
+    tir::Builder b;
+    tir::VReg mmio = b.imm32(int32_t(mmio_map::debugChar));
+    for (char c : std::string("OK"))
+        b.st32d(b.imm32(c), mmio, 0);
+    b.halt(b.zero());
+    System sys(tm3270Config());
+    sys.runProgram(tir::compile(b.take(), tm3270Config()).encoded);
+    EXPECT_EQ(sys.processor.mmio().debugOutput(), "OK");
+}
+
+TEST(System, DvfsFrequencyChangesMissLatency)
+{
+    // The BIU crosses clock domains: the same DRAM transaction costs
+    // more CPU cycles at a higher CPU clock (paper §3/§5.2).
+    tir::Builder b;
+    tir::VReg base = b.imm32(0x00100000);
+    tir::VReg v = b.ld32d(base, 0);
+    b.halt(v);
+    tir::TirProgram prog = b.take();
+
+    auto run_at = [&](uint32_t mhz) {
+        MachineConfig cfg = tm3270Config();
+        cfg.freqMHz = mhz;
+        System sys(cfg);
+        return sys.runProgram(tir::compile(prog, cfg).encoded).cycles;
+    };
+    EXPECT_GT(run_at(350), run_at(175));
+}
+
+// ---------------------------------------------------------------------
+// Parameterized functional-transparency sweep over cache geometries.
+// ---------------------------------------------------------------------
+
+struct GeomCase
+{
+    uint32_t size;
+    unsigned assoc;
+    unsigned line;
+    bool allocateOnWrite;
+};
+
+class CacheTransparency : public ::testing::TestWithParam<GeomCase>
+{
+};
+
+TEST_P(CacheTransparency, RandomAccessesMatchFlatMemory)
+{
+    const GeomCase &g = GetParam();
+    MachineConfig cfg = tm3270Config();
+    cfg.dcache = CacheGeometry{"dcache", g.size, g.assoc, g.line, true};
+    cfg.lsu.allocateOnWriteMiss = g.allocateOnWrite;
+
+    MainMemory mem(1 << 20);
+    Biu biu(mem, cfg.freqMHz);
+    Lsu lsu(cfg.lsu, cfg.dcache, biu, mem);
+
+    std::vector<uint8_t> shadow(1 << 16);
+    std::mt19937_64 rng(g.size ^ g.assoc ^ g.line);
+    for (auto &v : shadow)
+        v = uint8_t(rng());
+    mem.write(0, shadow.data(), shadow.size());
+
+    Cycles now = 0;
+    for (int step = 0; step < 4000; ++step) {
+        Addr addr = Addr(rng() % (shadow.size() - 8));
+        unsigned kind = unsigned(rng() % 5);
+        now += 1;
+        if (kind == 0) {
+            Word v = Word(rng());
+            now += lsu.store(Opcode::ST32D, addr, v, now);
+            for (int i = 0; i < 4; ++i)
+                shadow[addr + unsigned(i)] = uint8_t(v >> (24 - 8 * i));
+        } else if (kind == 1) {
+            uint8_t v = uint8_t(rng());
+            now += lsu.store(Opcode::ST8D, addr, v, now);
+            shadow[addr] = v;
+        } else if (kind == 2) {
+            MemResult r = lsu.load(Opcode::LD32D, addr, 0, now);
+            now += r.stall;
+            Word want = (Word(shadow[addr]) << 24) |
+                        (Word(shadow[addr + 1]) << 16) |
+                        (Word(shadow[addr + 2]) << 8) |
+                        shadow[addr + 3];
+            ASSERT_EQ(r.data[0], want) << "addr " << addr;
+        } else if (kind == 3) {
+            MemResult r = lsu.load(Opcode::LD8U, addr, 0, now);
+            now += r.stall;
+            ASSERT_EQ(r.data[0], shadow[addr]);
+        } else {
+            lsu.softwarePrefetch(addr, now);
+            lsu.tick(now);
+        }
+    }
+    lsu.flushCaches();
+    for (size_t i = 0; i < shadow.size(); ++i)
+        ASSERT_EQ(mem.byteAt(Addr(i)), shadow[i]) << "byte " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheTransparency,
+    ::testing::Values(
+        GeomCase{128 * 1024, 4, 128, true},  // TM3270
+        GeomCase{16 * 1024, 8, 64, false},   // TM3260
+        GeomCase{16 * 1024, 4, 128, true},   // configs B/C
+        GeomCase{4 * 1024, 1, 64, true},     // direct-mapped, tiny
+        GeomCase{4 * 1024, 1, 64, false},
+        GeomCase{8 * 1024, 2, 32, true},     // short lines
+        GeomCase{2 * 1024, 16, 128, true},   // one-set degenerate
+        GeomCase{64 * 1024, 8, 256, false}), // long lines
+    [](const ::testing::TestParamInfo<GeomCase> &info) {
+        const GeomCase &g = info.param;
+        return strfmt("s%uk_a%u_l%u_%s", g.size / 1024, g.assoc, g.line,
+                      g.allocateOnWrite ? "alloc" : "fetch");
+    });
+
+// ---------------------------------------------------------------------
+// Parameterized workload sweep over prefetch engine settings.
+// ---------------------------------------------------------------------
+
+class PrefetchDepth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PrefetchDepth, StreamingLoadsStayCorrect)
+{
+    MachineConfig cfg = tm3270Config();
+    cfg.lsu.maxInflightPrefetch = GetParam();
+
+    tir::Builder b;
+    tir::VReg p = b.var(), acc = b.var(), end = b.var();
+    b.assign(p, b.imm32(0x00100000));
+    b.assign(acc, b.imm32(0));
+    b.assign(end, b.imm32(0x00100000 + 64 * 1024));
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+    b.setBlock(loop);
+    tir::VReg cond = b.ilesu(b.iaddi(p, 4), end);
+    b.assign(acc, b.iadd(acc, b.ld32d(p, 0)));
+    b.assign(p, b.iaddi(p, 4));
+    b.jmpt(cond, loop);
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(acc);
+
+    System sys(cfg);
+    uint32_t want = 0;
+    std::mt19937_64 rng(GetParam());
+    for (Addr a = 0; a < 64 * 1024; a += 4) {
+        Word v = Word(rng());
+        sys.poke32(0x00100000 + a, v);
+        want += v;
+    }
+    sys.processor.lsu().prefetcher().setRegion(
+        0, 0x00100000, 0x00100000 + 64 * 1024, 128);
+    RunResult r =
+        sys.runProgram(tir::compile(b.take(), cfg).encoded);
+    EXPECT_EQ(r.exitValue, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PrefetchDepth,
+                         ::testing::Values(1u, 2u, 4u, 8u));

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the TIR builder, list scheduler and register allocator:
+ * correctness of scheduled code on the strict-latency-checking
+ * processor, slot constraints, delay-slot filling, loop-carried
+ * variables, and retargeting (TM3270 vs TM3260 constraints).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+#include "tir/builder.hh"
+#include "tir/scheduler.hh"
+
+using namespace tm3270;
+using tir::Builder;
+using tir::VReg;
+
+namespace
+{
+
+RunResult
+compileAndRun(tir::TirProgram prog, const MachineConfig &cfg,
+              System *sys_out = nullptr)
+{
+    tir::CompiledProgram cp = tir::compile(prog, cfg);
+    if (sys_out)
+        return sys_out->runProgram(cp.encoded);
+    System sys(cfg);
+    return sys.runProgram(cp.encoded);
+}
+
+} // namespace
+
+TEST(Tir, StraightLineArithmetic)
+{
+    Builder b;
+    VReg x = b.imm32(21);
+    VReg y = b.imm32(2);
+    VReg p = b.imul(x, y);
+    b.halt(p);
+    RunResult r = compileAndRun(b.take(), tm3270Config());
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.exitValue, 42u);
+}
+
+TEST(Tir, LargeConstantMaterialization)
+{
+    Builder b;
+    VReg v = b.imm32(int32_t(0xDEADBEEF));
+    b.halt(v);
+    RunResult r = compileAndRun(b.take(), tm3270Config());
+    EXPECT_EQ(r.exitValue, 0xDEADBEEFu);
+}
+
+TEST(Tir, CountingLoop)
+{
+    // sum = 0; for (i = 0; i < 10; ++i) sum += i;  -> 45
+    Builder b;
+    VReg sum = b.var();
+    VReg i = b.var();
+    b.assign(sum, b.imm32(0));
+    b.assign(i, b.imm32(0));
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+
+    b.setBlock(loop);
+    b.assign(sum, b.iadd(sum, i));
+    b.assign(i, b.iaddi(i, 1));
+    VReg c = b.ilesu(i, b.imm32(10));
+    b.jmpt(c, loop);
+
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(sum);
+
+    RunResult r = compileAndRun(b.take(), tm3270Config());
+    EXPECT_EQ(r.exitValue, 45u);
+}
+
+TEST(Tir, RunsOnAllFourConfigurations)
+{
+    for (char letter : {'A', 'B', 'C', 'D'}) {
+        Builder b;
+        VReg sum = b.var();
+        VReg i = b.var();
+        b.assign(sum, b.imm32(0));
+        b.assign(i, b.imm32(0));
+        int loop = b.newBlock();
+        b.setBlock(0);
+        b.jmpi(loop);
+        b.setBlock(loop);
+        b.assign(sum, b.iadd(sum, b.imul(i, i)));
+        b.assign(i, b.iaddi(i, 1));
+        b.jmpt(b.ilesu(i, b.imm32(8)), loop);
+        int done = b.newBlock();
+        b.setBlock(done);
+        b.halt(sum);
+
+        RunResult r =
+            compileAndRun(b.take(), configByLetter(letter));
+        EXPECT_EQ(r.exitValue, 140u) << "config " << letter;
+    }
+}
+
+TEST(Tir, MemoryLoopStoresAndLoads)
+{
+    Builder b;
+    VReg base = b.var();
+    VReg i = b.var();
+    b.assign(base, b.imm32(0x10000));
+    b.assign(i, b.imm32(0));
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+
+    b.setBlock(loop);
+    VReg addr = b.iadd(base, b.asli(i, 2));
+    b.st32r(b.imul(i, i), base, b.asli(i, 2));
+    (void)addr;
+    b.assign(i, b.iaddi(i, 1));
+    b.jmpt(b.ilesu(i, b.imm32(16)), loop);
+
+    int sumb = b.newBlock();
+    b.setBlock(sumb);
+    VReg total = b.var();
+    VReg j = b.var();
+    b.assign(total, b.imm32(0));
+    b.assign(j, b.imm32(0));
+    int loop2 = b.newBlock();
+    b.jmpi(loop2);
+    b.setBlock(loop2);
+    VReg v = b.ld32r(base, b.asli(j, 2));
+    b.assign(total, b.iadd(total, v));
+    b.assign(j, b.iaddi(j, 1));
+    b.jmpt(b.ilesu(j, b.imm32(16)), loop2);
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(total);
+
+    unsigned expect = 0;
+    for (unsigned k = 0; k < 16; ++k)
+        expect += k * k;
+    RunResult r = compileAndRun(b.take(), tm3270Config());
+    EXPECT_EQ(r.exitValue, expect);
+}
+
+TEST(Tir, SchedulerRespectsLoadsPerInstr)
+{
+    // Eight independent loads: the TM3270 (1 load/instr) needs at
+    // least 8 instructions; the TM3260 (2 loads/instr) at least 4.
+    auto build = [] {
+        Builder b;
+        VReg base = b.imm32(0x8000);
+        VReg acc = b.temp();
+        std::vector<VReg> vals;
+        for (int i = 0; i < 8; ++i)
+            vals.push_back(b.ld32d(base, i * 4));
+        acc = vals[0];
+        for (int i = 1; i < 8; ++i)
+            acc = b.iadd(acc, vals[size_t(i)]);
+        b.halt(acc);
+        return b.take();
+    };
+    tir::CompiledProgram d = tir::compile(build(), tm3270Config());
+    tir::CompiledProgram a = tir::compile(build(), tm3260Config());
+
+    auto count_loads_per_inst = [](const tir::CompiledProgram &cp,
+                                   unsigned max_allowed) {
+        for (const auto &inst : cp.insts) {
+            unsigned loads = 0;
+            for (const auto &op : inst.slot)
+                loads += op.used() && op.info().isLoad;
+            ASSERT_LE(loads, max_allowed);
+        }
+    };
+    count_loads_per_inst(d, 1);
+    count_loads_per_inst(a, 2);
+}
+
+TEST(Tir, SchedulerUsesSlot5ForTm3270Loads)
+{
+    Builder b;
+    VReg base = b.imm32(0x8000);
+    VReg v = b.ld32d(base, 0);
+    b.halt(v);
+    tir::CompiledProgram cp = tir::compile(b.take(), tm3270Config());
+    for (const auto &inst : cp.insts) {
+        for (unsigned s = 0; s < numSlots; ++s) {
+            if (inst.slot[s].used() && inst.slot[s].info().isLoad) {
+                EXPECT_EQ(s, 4u); // issue slot 5
+            }
+        }
+    }
+}
+
+TEST(Tir, Tm3260RejectsNewOperations)
+{
+    Builder b;
+    VReg addr = b.imm32(0x8000);
+    VReg frac = b.imm32(8);
+    VReg v = b.ldFrac8(addr, frac);
+    b.halt(v);
+    EXPECT_THROW(tir::compile(b.take(), tm3260Config()), FatalError);
+}
+
+TEST(Tir, TwoSlotOperationEndToEnd)
+{
+    Builder b;
+    VReg a = b.imm32(int32_t(dual16(2, 3)));
+    VReg c = b.imm32(int32_t(dual16(4, 5)));
+    auto [hi, lo] = b.superDualimix(a, c, a, c);
+    // hi = 2*4 + 2*4 = 16; lo = 3*5 + 3*5 = 30
+    VReg sum = b.iadd(hi, lo);
+    b.halt(sum);
+    RunResult r = compileAndRun(b.take(), tm3270Config());
+    EXPECT_EQ(r.exitValue, 46u);
+}
+
+TEST(Tir, SuperLd32rEndToEnd)
+{
+    Builder b;
+    VReg base = b.imm32(0x9000);
+    auto [w0, w1] = b.superLd32r(base, b.zero());
+    b.halt(b.ixor(w0, w1));
+
+    System sys(tm3270Config());
+    sys.poke32(0x9000, 0xAAAA5555);
+    sys.poke32(0x9004, 0x5555AAAA);
+    RunResult r = compileAndRun(b.take(), tm3270Config(), &sys);
+    EXPECT_EQ(r.exitValue, 0xFFFFFFFFu);
+}
+
+TEST(Tir, GuardedAssign)
+{
+    // if (x > 5) y = 1 else y = 2, branch-free with guards.
+    for (int x : {3, 9}) {
+        Builder b;
+        VReg vx = b.imm32(x);
+        VReg cond = b.igtr(vx, b.imm32(5));
+        VReg ncond = b.ixor(cond, b.one());
+        VReg y = b.var();
+        b.assign(y, b.imm32(0));
+        b.assign(y, b.imm32(1), cond);
+        b.assign(y, b.imm32(2), ncond);
+        b.halt(y);
+        RunResult r = compileAndRun(b.take(), tm3270Config());
+        EXPECT_EQ(r.exitValue, x > 5 ? 1u : 2u);
+    }
+}
+
+TEST(Tir, DelaySlotsAreFilledWithWork)
+{
+    // A loop with enough independent work should issue > 1 op/instr
+    // even with the 5 delay slots (the scheduler fills them).
+    Builder b;
+    VReg s1 = b.var(), s2 = b.var(), s3 = b.var(), s4 = b.var();
+    VReg i = b.var();
+    for (VReg v : {s1, s2, s3, s4})
+        b.assign(v, b.imm32(0));
+    b.assign(i, b.imm32(0));
+    int loop = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(loop);
+    b.setBlock(loop);
+    // Compute the loop condition early so the branch can issue while
+    // the unrolled body fills the delay slots.
+    VReg cond = b.ilesi(i, 96);
+    b.assign(i, b.iaddi(i, 4));
+    for (int u = 0; u < 4; ++u) {
+        b.assign(s1, b.iaddi(s1, 1));
+        b.assign(s2, b.iaddi(s2, 2));
+        b.assign(s3, b.iaddi(s3, 3));
+        b.assign(s4, b.iaddi(s4, 4));
+    }
+    b.jmpt(cond, loop);
+    int done = b.newBlock();
+    b.setBlock(done);
+    b.halt(b.iadd(b.iadd(s1, s2), b.iadd(s3, s4)));
+
+    RunResult r = compileAndRun(b.take(), tm3270Config());
+    EXPECT_EQ(r.exitValue, 100u * 10);
+    EXPECT_GT(r.opi(), 1.5);
+}
+
+TEST(Tir, ManyLocalsGetRecycledRegisters)
+{
+    // More temporaries than architectural registers, but short-lived:
+    // linear scan must recycle.
+    Builder b;
+    VReg acc = b.var();
+    b.assign(acc, b.imm32(0));
+    int body = b.newBlock();
+    b.setBlock(0);
+    b.jmpi(body);
+    b.setBlock(body);
+    for (int i = 0; i < 300; ++i)
+        b.assign(acc, b.iadd(acc, b.imm32(i)));
+    b.halt(acc);
+
+    RunResult r = compileAndRun(b.take(), tm3270Config());
+    EXPECT_EQ(r.exitValue, 300u * 299 / 2);
+}
+
+TEST(Tir, CompiledCodeIsDenserOnWiderUnroll)
+{
+    // Sanity: more unrolling raises OPI (the 5-slot machine gets used).
+    auto build = [](int unroll) {
+        Builder b;
+        std::vector<VReg> acc(static_cast<size_t>(unroll), tir::vzero);
+        for (auto &v : acc)
+            v = b.var();
+        VReg i = b.var();
+        for (auto &v : acc)
+            b.assign(v, b.imm32(0));
+        b.assign(i, b.imm32(0));
+        int loop = b.newBlock();
+        b.setBlock(0);
+        b.jmpi(loop);
+        b.setBlock(loop);
+        for (auto &v : acc)
+            b.assign(v, b.iaddi(v, 3));
+        b.assign(i, b.iaddi(i, 1));
+        b.jmpt(b.ilesu(i, b.imm32(50)), loop);
+        int done = b.newBlock();
+        b.setBlock(done);
+        VReg t = acc[0];
+        for (size_t k = 1; k < acc.size(); ++k)
+            t = b.iadd(t, acc[k]);
+        b.halt(t);
+        return b.take();
+    };
+    RunResult narrow = compileAndRun(build(1), tm3270Config());
+    RunResult wide = compileAndRun(build(8), tm3270Config());
+    EXPECT_EQ(narrow.exitValue, 150u);
+    EXPECT_EQ(wide.exitValue, 8u * 150);
+    EXPECT_GT(wide.opi(), narrow.opi());
+}

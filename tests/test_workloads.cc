@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Integration tests: every Table 5 workload runs to completion on
+ * every machine configuration (A-D) and verifies bit-exactly against
+ * its host reference. Parameterized across workloads and configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/workload.hh"
+
+using namespace tm3270;
+using namespace tm3270::workloads;
+
+namespace
+{
+
+struct Case
+{
+    const char *workload;
+    char config;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    return std::string(info.param.workload) + "_" + info.param.config;
+}
+
+Workload
+byName(const std::string &name)
+{
+    for (auto &w : table5Suite()) {
+        if (w.name == name)
+            return w;
+    }
+    if (name == "mp3")
+        return mp3Workload();
+    ADD_FAILURE() << "unknown workload " << name;
+    return {};
+}
+
+class WorkloadRun : public ::testing::TestWithParam<Case>
+{
+};
+
+} // namespace
+
+TEST_P(WorkloadRun, VerifiesAgainstReference)
+{
+    const Case &c = GetParam();
+    Workload w = byName(c.workload);
+    // runWorkload fatals if verification fails.
+    RunResult r = runWorkload(w, configByLetter(c.config));
+    EXPECT_TRUE(r.halted);
+    EXPECT_GT(r.instrs, 100u);
+    EXPECT_GT(r.opi(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table5OnD, WorkloadRun,
+    ::testing::Values(Case{"memset", 'D'}, Case{"memcpy", 'D'},
+                      Case{"filter", 'D'}, Case{"rgb2yuv", 'D'},
+                      Case{"rgb2cmyk", 'D'}, Case{"rgb2yiq", 'D'},
+                      Case{"mpeg2_a", 'D'}, Case{"mpeg2_b", 'D'},
+                      Case{"mpeg2_c", 'D'}, Case{"filmdet", 'D'},
+                      Case{"majority_sel", 'D'}, Case{"mp3", 'D'}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    SuiteOnBaselineA, WorkloadRun,
+    ::testing::Values(Case{"memset", 'A'}, Case{"memcpy", 'A'},
+                      Case{"filter", 'A'}, Case{"rgb2yuv", 'A'},
+                      Case{"rgb2cmyk", 'A'}, Case{"rgb2yiq", 'A'},
+                      Case{"mpeg2_a", 'A'}, Case{"filmdet", 'A'},
+                      Case{"majority_sel", 'A'}),
+    caseName);
+
+INSTANTIATE_TEST_SUITE_P(
+    SpotChecksOnBC, WorkloadRun,
+    ::testing::Values(Case{"memcpy", 'B'}, Case{"memcpy", 'C'},
+                      Case{"mpeg2_a", 'B'}, Case{"filter", 'C'}),
+    caseName);
+
+TEST(WorkloadSuite, HasElevenEntries)
+{
+    EXPECT_EQ(table5Suite().size(), 11u);
+}
+
+TEST(WorkloadSuite, PerformanceOrderingSanity)
+{
+    // The TM3270 (D) must beat the TM3260 (A) in wall-clock time on
+    // the streaming kernels (paper Fig. 7 always shows D fastest).
+    for (const char *name : {"memset", "memcpy", "filmdet"}) {
+        Workload w = byName(name);
+        RunResult a = runWorkload(w, configByLetter('A'));
+        RunResult d = runWorkload(w, configByLetter('D'));
+        double t_a = a.microseconds(240);
+        double t_d = d.microseconds(350);
+        EXPECT_LT(t_d, t_a) << name;
+    }
+}

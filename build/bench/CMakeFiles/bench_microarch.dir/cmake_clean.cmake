@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microarch.dir/bench_microarch.cc.o"
+  "CMakeFiles/bench_microarch.dir/bench_microarch.cc.o.d"
+  "bench_microarch"
+  "bench_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

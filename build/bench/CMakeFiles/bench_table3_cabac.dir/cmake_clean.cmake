@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cabac.dir/bench_table3_cabac.cc.o"
+  "CMakeFiles/bench_table3_cabac.dir/bench_table3_cabac.cc.o.d"
+  "bench_table3_cabac"
+  "bench_table3_cabac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cabac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_texture.dir/bench_texture.cc.o"
+  "CMakeFiles/bench_texture.dir/bench_texture.cc.o.d"
+  "bench_texture"
+  "bench_texture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_texture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

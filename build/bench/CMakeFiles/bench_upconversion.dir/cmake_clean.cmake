@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_upconversion.dir/bench_upconversion.cc.o"
+  "CMakeFiles/bench_upconversion.dir/bench_upconversion.cc.o.d"
+  "bench_upconversion"
+  "bench_upconversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upconversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cabac_decode.dir/cabac_decode.cpp.o"
+  "CMakeFiles/cabac_decode.dir/cabac_decode.cpp.o.d"
+  "cabac_decode"
+  "cabac_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cabac_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

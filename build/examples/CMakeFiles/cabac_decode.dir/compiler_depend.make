@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cabac_decode.
+# This may be replaced when dependencies are built.

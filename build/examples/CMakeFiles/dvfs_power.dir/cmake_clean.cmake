@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_power.dir/dvfs_power.cpp.o"
+  "CMakeFiles/dvfs_power.dir/dvfs_power.cpp.o.d"
+  "dvfs_power"
+  "dvfs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

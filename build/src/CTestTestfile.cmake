@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("encode")
+subdirs("memory")
+subdirs("cache")
+subdirs("prefetch")
+subdirs("lsu")
+subdirs("core")
+subdirs("tir")
+subdirs("asm")
+subdirs("cabac")
+subdirs("power")
+subdirs("workloads")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_asm.dir/assembler.cc.o"
+  "CMakeFiles/tm_asm.dir/assembler.cc.o.d"
+  "libtm_asm.a"
+  "libtm_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

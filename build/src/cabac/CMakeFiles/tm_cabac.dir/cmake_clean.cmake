@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_cabac.dir/cabac.cc.o"
+  "CMakeFiles/tm_cabac.dir/cabac.cc.o.d"
+  "libtm_cabac.a"
+  "libtm_cabac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_cabac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_cache.dir/cache.cc.o"
+  "CMakeFiles/tm_cache.dir/cache.cc.o.d"
+  "libtm_cache.a"
+  "libtm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

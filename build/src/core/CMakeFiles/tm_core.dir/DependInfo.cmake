@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/tm_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/tm_core.dir/config.cc.o.d"
+  "/root/repo/src/core/mmio.cc" "src/core/CMakeFiles/tm_core.dir/mmio.cc.o" "gcc" "src/core/CMakeFiles/tm_core.dir/mmio.cc.o.d"
+  "/root/repo/src/core/processor.cc" "src/core/CMakeFiles/tm_core.dir/processor.cc.o" "gcc" "src/core/CMakeFiles/tm_core.dir/processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encode/CMakeFiles/tm_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsu/CMakeFiles/tm_lsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/tm_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

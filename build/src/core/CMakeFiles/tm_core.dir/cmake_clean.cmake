@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_core.dir/config.cc.o"
+  "CMakeFiles/tm_core.dir/config.cc.o.d"
+  "CMakeFiles/tm_core.dir/mmio.cc.o"
+  "CMakeFiles/tm_core.dir/mmio.cc.o.d"
+  "CMakeFiles/tm_core.dir/processor.cc.o"
+  "CMakeFiles/tm_core.dir/processor.cc.o.d"
+  "libtm_core.a"
+  "libtm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

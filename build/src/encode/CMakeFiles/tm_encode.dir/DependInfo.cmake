@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encode/decoder.cc" "src/encode/CMakeFiles/tm_encode.dir/decoder.cc.o" "gcc" "src/encode/CMakeFiles/tm_encode.dir/decoder.cc.o.d"
+  "/root/repo/src/encode/encoder.cc" "src/encode/CMakeFiles/tm_encode.dir/encoder.cc.o" "gcc" "src/encode/CMakeFiles/tm_encode.dir/encoder.cc.o.d"
+  "/root/repo/src/encode/formats.cc" "src/encode/CMakeFiles/tm_encode.dir/formats.cc.o" "gcc" "src/encode/CMakeFiles/tm_encode.dir/formats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/tm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_encode.dir/decoder.cc.o"
+  "CMakeFiles/tm_encode.dir/decoder.cc.o.d"
+  "CMakeFiles/tm_encode.dir/encoder.cc.o"
+  "CMakeFiles/tm_encode.dir/encoder.cc.o.d"
+  "CMakeFiles/tm_encode.dir/formats.cc.o"
+  "CMakeFiles/tm_encode.dir/formats.cc.o.d"
+  "libtm_encode.a"
+  "libtm_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/cabac_tables.cc" "src/isa/CMakeFiles/tm_isa.dir/cabac_tables.cc.o" "gcc" "src/isa/CMakeFiles/tm_isa.dir/cabac_tables.cc.o.d"
+  "/root/repo/src/isa/op_info.cc" "src/isa/CMakeFiles/tm_isa.dir/op_info.cc.o" "gcc" "src/isa/CMakeFiles/tm_isa.dir/op_info.cc.o.d"
+  "/root/repo/src/isa/operation.cc" "src/isa/CMakeFiles/tm_isa.dir/operation.cc.o" "gcc" "src/isa/CMakeFiles/tm_isa.dir/operation.cc.o.d"
+  "/root/repo/src/isa/semantics.cc" "src/isa/CMakeFiles/tm_isa.dir/semantics.cc.o" "gcc" "src/isa/CMakeFiles/tm_isa.dir/semantics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_isa.dir/cabac_tables.cc.o"
+  "CMakeFiles/tm_isa.dir/cabac_tables.cc.o.d"
+  "CMakeFiles/tm_isa.dir/op_info.cc.o"
+  "CMakeFiles/tm_isa.dir/op_info.cc.o.d"
+  "CMakeFiles/tm_isa.dir/operation.cc.o"
+  "CMakeFiles/tm_isa.dir/operation.cc.o.d"
+  "CMakeFiles/tm_isa.dir/semantics.cc.o"
+  "CMakeFiles/tm_isa.dir/semantics.cc.o.d"
+  "libtm_isa.a"
+  "libtm_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_lsu.dir/lsu.cc.o"
+  "CMakeFiles/tm_lsu.dir/lsu.cc.o.d"
+  "libtm_lsu.a"
+  "libtm_lsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_lsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_memory.dir/biu.cc.o"
+  "CMakeFiles/tm_memory.dir/biu.cc.o.d"
+  "CMakeFiles/tm_memory.dir/main_memory.cc.o"
+  "CMakeFiles/tm_memory.dir/main_memory.cc.o.d"
+  "libtm_memory.a"
+  "libtm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_power.dir/power_model.cc.o"
+  "CMakeFiles/tm_power.dir/power_model.cc.o.d"
+  "libtm_power.a"
+  "libtm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_prefetch.dir/region_prefetcher.cc.o"
+  "CMakeFiles/tm_prefetch.dir/region_prefetcher.cc.o.d"
+  "libtm_prefetch.a"
+  "libtm_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

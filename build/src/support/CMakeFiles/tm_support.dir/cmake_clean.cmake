@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_support.dir/logging.cc.o"
+  "CMakeFiles/tm_support.dir/logging.cc.o.d"
+  "libtm_support.a"
+  "libtm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_tir.dir/builder.cc.o"
+  "CMakeFiles/tm_tir.dir/builder.cc.o.d"
+  "CMakeFiles/tm_tir.dir/scheduler.cc.o"
+  "CMakeFiles/tm_tir.dir/scheduler.cc.o.d"
+  "libtm_tir.a"
+  "libtm_tir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_tir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtm_tir.a"
+)

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cabac_prog.cc" "src/workloads/CMakeFiles/tm_workloads.dir/cabac_prog.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/cabac_prog.cc.o.d"
+  "/root/repo/src/workloads/filter.cc" "src/workloads/CMakeFiles/tm_workloads.dir/filter.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/filter.cc.o.d"
+  "/root/repo/src/workloads/memops.cc" "src/workloads/CMakeFiles/tm_workloads.dir/memops.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/memops.cc.o.d"
+  "/root/repo/src/workloads/motion_est.cc" "src/workloads/CMakeFiles/tm_workloads.dir/motion_est.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/motion_est.cc.o.d"
+  "/root/repo/src/workloads/mp3.cc" "src/workloads/CMakeFiles/tm_workloads.dir/mp3.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/mp3.cc.o.d"
+  "/root/repo/src/workloads/mpeg2.cc" "src/workloads/CMakeFiles/tm_workloads.dir/mpeg2.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/mpeg2.cc.o.d"
+  "/root/repo/src/workloads/rgb.cc" "src/workloads/CMakeFiles/tm_workloads.dir/rgb.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/rgb.cc.o.d"
+  "/root/repo/src/workloads/texture.cc" "src/workloads/CMakeFiles/tm_workloads.dir/texture.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/texture.cc.o.d"
+  "/root/repo/src/workloads/tvalgo.cc" "src/workloads/CMakeFiles/tm_workloads.dir/tvalgo.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/tvalgo.cc.o.d"
+  "/root/repo/src/workloads/upconv.cc" "src/workloads/CMakeFiles/tm_workloads.dir/upconv.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/upconv.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/tm_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/tm_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tir/CMakeFiles/tm_tir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cabac/CMakeFiles/tm_cabac.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsu/CMakeFiles/tm_lsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/tm_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/tm_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tm_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

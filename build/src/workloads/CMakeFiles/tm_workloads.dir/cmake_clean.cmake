@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_workloads.dir/cabac_prog.cc.o"
+  "CMakeFiles/tm_workloads.dir/cabac_prog.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/filter.cc.o"
+  "CMakeFiles/tm_workloads.dir/filter.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/memops.cc.o"
+  "CMakeFiles/tm_workloads.dir/memops.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/motion_est.cc.o"
+  "CMakeFiles/tm_workloads.dir/motion_est.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/mp3.cc.o"
+  "CMakeFiles/tm_workloads.dir/mp3.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/mpeg2.cc.o"
+  "CMakeFiles/tm_workloads.dir/mpeg2.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/rgb.cc.o"
+  "CMakeFiles/tm_workloads.dir/rgb.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/texture.cc.o"
+  "CMakeFiles/tm_workloads.dir/texture.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/tvalgo.cc.o"
+  "CMakeFiles/tm_workloads.dir/tvalgo.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/upconv.cc.o"
+  "CMakeFiles/tm_workloads.dir/upconv.cc.o.d"
+  "CMakeFiles/tm_workloads.dir/workload.cc.o"
+  "CMakeFiles/tm_workloads.dir/workload.cc.o.d"
+  "libtm_workloads.a"
+  "libtm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

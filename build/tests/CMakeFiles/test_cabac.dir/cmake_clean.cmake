@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cabac.dir/test_cabac.cc.o"
+  "CMakeFiles/test_cabac.dir/test_cabac.cc.o.d"
+  "test_cabac"
+  "test_cabac.pdb"
+  "test_cabac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cabac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

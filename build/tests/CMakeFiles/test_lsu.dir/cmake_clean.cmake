@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsu.dir/test_lsu.cc.o"
+  "CMakeFiles/test_lsu.dir/test_lsu.cc.o.d"
+  "test_lsu"
+  "test_lsu.pdb"
+  "test_lsu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tir.dir/test_tir.cc.o"
+  "CMakeFiles/test_tir.dir/test_tir.cc.o.d"
+  "test_tir"
+  "test_tir.pdb"
+  "test_tir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

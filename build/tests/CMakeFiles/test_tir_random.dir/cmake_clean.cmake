@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tir_random.dir/test_tir_random.cc.o"
+  "CMakeFiles/test_tir_random.dir/test_tir_random.cc.o.d"
+  "test_tir_random"
+  "test_tir_random.pdb"
+  "test_tir_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tir_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

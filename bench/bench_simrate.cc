@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Simulation-rate benchmark gate: simulated VLIW instructions per
+ * wall-clock second on the TM3270 CABAC and motion-estimation
+ * workloads. This tracks the *simulator's* speed (host perf), not the
+ * modeled hardware, so the fast-path interpreter (interned stats +
+ * predecoded micro-op stream) stays honest from PR to PR.
+ *
+ * Run from the build directory:
+ *
+ *     ./bench/bench_simrate
+ *
+ * A JSON report is written to BENCH_simrate.json in the working
+ * directory by default (pass your own --benchmark_out= to override).
+ * The headline metric is items_per_second: simulated VLIW
+ * instructions per second. Every run re-verifies workload output
+ * against the host reference, so a simrate win can never silently
+ * trade away correctness.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "tir/scheduler.hh"
+#include "workloads/cabac_prog.hh"
+#include "workloads/motion_est.hh"
+
+using namespace tm3270;
+using namespace tm3270::workloads;
+
+namespace
+{
+
+/** CABAC bin decode (plain TriMedia operations, the interpreter-bound
+ *  variant): the primary simrate gate. */
+void
+BM_SimrateCabac(benchmark::State &state)
+{
+    const bool optimized = state.range(0) != 0;
+    SyntheticField f = generateField(60000, 64, 0.8, 42);
+    tir::CompiledProgram cp = tir::compile(
+        buildCabacDecode(unsigned(f.bins.size()), optimized),
+        tm3270Config());
+
+    uint64_t instrs = 0;
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        System sys(tm3270Config());
+        stageCabacField(sys, f);
+        RunResult r = sys.runProgram(cp.encoded);
+        std::string err;
+        if (!r.halted || !verifyCabacBits(sys, f, err))
+            fatal("CABAC decode mismatch: %s", err.c_str());
+        instrs += r.instrs;
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r);
+    }
+    // items/s == simulated VLIW instructions per wall second.
+    state.SetItemsProcessed(int64_t(instrs));
+    state.counters["sim_instrs"] =
+        double(instrs) / double(state.iterations());
+    state.counters["sim_cycles"] =
+        double(cycles) / double(state.iterations());
+}
+
+/** Motion estimation with all TM3270 features on: LSU/prefetch-bound
+ *  simrate companion. */
+void
+BM_SimrateMotionEst(benchmark::State &state)
+{
+    tir::CompiledProgram cp = tir::compile(
+        buildMotionEstimation({true, true, true}), tm3270Config());
+
+    uint64_t instrs = 0;
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        System sys(tm3270Config());
+        stageMotionEstimation(sys, 99);
+        RunResult r = sys.runProgram(cp.encoded);
+        std::string err;
+        if (!r.halted || !verifyMotionEstimation(sys, 99, err))
+            fatal("motion estimation mismatch: %s", err.c_str());
+        instrs += r.instrs;
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(int64_t(instrs));
+    state.counters["sim_instrs"] =
+        double(instrs) / double(state.iterations());
+    state.counters["sim_cycles"] =
+        double(cycles) / double(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_SimrateCabac)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"opt"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimrateMotionEst)->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    // Default to emitting BENCH_simrate.json so the perf trajectory is
+    // recorded by every plain `./bench_simrate` run.
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out", 15) == 0)
+            has_out = true;
+    }
+    static char out_arg[] = "--benchmark_out=BENCH_simrate.json";
+    static char fmt_arg[] = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_arg);
+        args.push_back(fmt_arg);
+    }
+    int n = int(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_simrate.cc" "bench/CMakeFiles/bench_simrate.dir/bench_simrate.cc.o" "gcc" "bench/CMakeFiles/bench_simrate.dir/bench_simrate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/tm_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tir/CMakeFiles/tm_tir.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cabac/CMakeFiles/tm_cabac.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsu/CMakeFiles/tm_lsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefetch/CMakeFiles/tm_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/tm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/encode/CMakeFiles/tm_encode.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tm_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

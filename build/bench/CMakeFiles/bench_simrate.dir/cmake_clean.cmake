@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simrate.dir/bench_simrate.cc.o"
+  "CMakeFiles/bench_simrate.dir/bench_simrate.cc.o.d"
+  "bench_simrate"
+  "bench_simrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

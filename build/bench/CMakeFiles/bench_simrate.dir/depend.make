@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_simrate.
+# This may be replaced when dependencies are built.

@@ -129,8 +129,10 @@ examples/CMakeFiles/dvfs_power.dir/dvfs_power.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/core/processor.hh /usr/include/c++/12/memory \
+ /root/repo/src/core/processor.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -216,9 +218,7 @@ examples/CMakeFiles/dvfs_power.dir/dvfs_power.cpp.o: \
  /root/repo/src/support/stats.hh /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/types.hh \
- /root/repo/src/lsu/lsu.hh /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/unordered_set \
+ /root/repo/src/lsu/lsu.hh /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/isa/semantics.hh \
  /root/repo/src/isa/operation.hh /root/repo/src/isa/op_info.hh \
  /root/repo/src/isa/opcodes.hh /root/repo/src/lsu/mmio.hh \

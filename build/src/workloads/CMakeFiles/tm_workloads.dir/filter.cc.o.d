@@ -214,15 +214,14 @@ src/workloads/CMakeFiles/tm_workloads.dir/filter.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/processor.hh /usr/include/c++/12/optional \
- /root/repo/src/core/config.hh /root/repo/src/cache/cache.hh \
- /root/repo/src/memory/main_memory.hh /root/repo/src/support/stats.hh \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/types.hh \
- /root/repo/src/lsu/lsu.hh /usr/include/c++/12/deque \
+ /root/repo/src/core/processor.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/optional /root/repo/src/core/config.hh \
+ /root/repo/src/cache/cache.hh /root/repo/src/memory/main_memory.hh \
+ /root/repo/src/support/stats.hh /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/types.hh \
+ /root/repo/src/lsu/lsu.hh /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/isa/semantics.hh \
  /root/repo/src/isa/operation.hh /root/repo/src/isa/op_info.hh \
  /root/repo/src/isa/opcodes.hh /root/repo/src/lsu/mmio.hh \

@@ -294,11 +294,11 @@ tests/CMakeFiles/test_core.dir/test_core.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/system.hh /usr/include/c++/12/cstring \
- /root/repo/src/core/processor.hh /root/repo/src/core/config.hh \
- /root/repo/src/cache/cache.hh /root/repo/src/memory/main_memory.hh \
- /root/repo/src/support/stats.hh /root/repo/src/support/types.hh \
- /root/repo/src/lsu/lsu.hh /usr/include/c++/12/deque \
+ /root/repo/src/core/processor.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/core/config.hh /root/repo/src/cache/cache.hh \
+ /root/repo/src/memory/main_memory.hh /root/repo/src/support/stats.hh \
+ /root/repo/src/support/types.hh /root/repo/src/lsu/lsu.hh \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/isa/semantics.hh \
  /root/repo/src/isa/operation.hh /root/repo/src/isa/op_info.hh \
@@ -307,4 +307,6 @@ tests/CMakeFiles/test_core.dir/test_core.cc.o: \
  /root/repo/src/prefetch/region_prefetcher.hh /root/repo/src/core/mmio.hh \
  /root/repo/src/encode/decoder.hh /root/repo/src/encode/formats.hh \
  /root/repo/src/encode/encoder.hh /root/repo/src/support/logging.hh \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstdarg /root/repo/src/tir/scheduler.hh \
+ /root/repo/src/tir/tir.hh /root/repo/src/workloads/workload.hh \
+ /root/repo/src/tir/builder.hh

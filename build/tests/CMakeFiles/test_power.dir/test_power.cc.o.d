@@ -294,11 +294,11 @@ tests/CMakeFiles/test_power.dir/test_power.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/power/power_model.hh /root/repo/src/core/processor.hh \
- /root/repo/src/core/config.hh /root/repo/src/cache/cache.hh \
- /root/repo/src/memory/main_memory.hh /root/repo/src/support/stats.hh \
- /root/repo/src/support/types.hh /root/repo/src/lsu/lsu.hh \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/config.hh \
+ /root/repo/src/cache/cache.hh /root/repo/src/memory/main_memory.hh \
+ /root/repo/src/support/stats.hh /root/repo/src/support/types.hh \
+ /root/repo/src/lsu/lsu.hh /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/isa/semantics.hh \
  /root/repo/src/isa/operation.hh /root/repo/src/isa/op_info.hh \
  /root/repo/src/isa/opcodes.hh /root/repo/src/lsu/mmio.hh \

@@ -324,11 +324,11 @@ tests/CMakeFiles/test_system.dir/test_system.cc.o: \
  /root/repo/src/prefetch/region_prefetcher.hh \
  /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
  /root/repo/src/core/system.hh /usr/include/c++/12/cstring \
- /root/repo/src/core/processor.hh /root/repo/src/core/config.hh \
- /root/repo/src/cache/cache.hh /root/repo/src/memory/main_memory.hh \
- /root/repo/src/support/stats.hh /root/repo/src/lsu/lsu.hh \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/unordered_set \
+ /root/repo/src/core/processor.hh /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/core/config.hh /root/repo/src/cache/cache.hh \
+ /root/repo/src/memory/main_memory.hh /root/repo/src/support/stats.hh \
+ /root/repo/src/lsu/lsu.hh /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/isa/semantics.hh \
  /root/repo/src/isa/operation.hh /root/repo/src/isa/op_info.hh \
  /root/repo/src/isa/opcodes.hh /root/repo/src/memory/biu.hh \

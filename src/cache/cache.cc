@@ -132,9 +132,9 @@ Cache::allocate(Addr line_addr, int &way_out)
             v.validBytes = static_cast<unsigned>(
                 std::count(l.vmask.begin(), l.vmask.end(), true));
         }
-        stats.inc("evictions");
+        hEvictions.inc();
         if (l.dirty)
-            stats.inc("copybacks");
+            hCopybacks.inc();
     }
 
     l.valid = true;
@@ -143,7 +143,7 @@ Cache::allocate(Addr line_addr, int &way_out)
     l.lastUse = ++useTick;
     if (geom.hasData)
         std::fill(l.vmask.begin(), l.vmask.end(), false);
-    stats.inc("allocations");
+    hAllocations.inc();
     way_out = victim_way;
     return v;
 }
@@ -161,7 +161,7 @@ Cache::fillFromMemory(const MainMemory &mem, Addr line_addr, int way)
             l.vmask[i] = true;
         }
     }
-    stats.inc("refills");
+    hRefills.inc();
 }
 
 void

@@ -138,6 +138,12 @@ class Cache
     std::vector<Line> lines; ///< set-major: lines[set * assoc + way]
     uint64_t useTick = 0;
 
+    // Interned counters for the per-access hot path.
+    StatHandle hEvictions = stats.handle("evictions");
+    StatHandle hCopybacks = stats.handle("copybacks");
+    StatHandle hAllocations = stats.handle("allocations");
+    StatHandle hRefills = stats.handle("refills");
+
     unsigned setOf(Addr line_addr) const;
     Line &lineAt(Addr line_addr, int way);
     const Line &lineAt(Addr line_addr, int way) const;

@@ -1,5 +1,7 @@
 #include "core/processor.hh"
 
+#include <bit>
+
 #include "isa/semantics.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
@@ -48,6 +50,7 @@ Processor::Processor(MachineConfig cfg_, MainMemory &mem_)
     // The LSU is constructed before the MMIO device it routes to;
     // attach the device now.
     lsu_.setMmio(&mmio_);
+    regs[regOne] = 1;
 }
 
 void
@@ -55,6 +58,8 @@ Processor::loadProgram(const EncodedProgram &p)
 {
     prog = &p;
     decodeCache.clear();
+    pdPool.clear();
+    pdIndex.assign(p.bytes.size(), -1);
     pc = 0;
     nextTemplate = std::nullopt; // entry is a jump target
     lastFetchChunk = ~Addr(0);
@@ -81,15 +86,14 @@ Processor::setReg(RegIndex r, Word v)
 }
 
 Word
-Processor::readReg(RegIndex r)
+Processor::gatherRead(RegIndex r)
 {
     if (cfg.strictLatencyCheck && readyAt[r] > issueTick) {
         fatal("latency violation: r%u read at tick %llu, ready at %llu",
               unsigned(r), (unsigned long long)issueTick,
               (unsigned long long)readyAt[r]);
     }
-    stats.inc("regfile_reads");
-    return reg(r);
+    return regs[r];
 }
 
 void
@@ -106,28 +110,102 @@ Processor::scheduleWriteback(RegIndex r, Word v, unsigned latency)
               (unsigned long long)readyAt[r]);
     }
     readyAt[r] = due;
-    wbRing[due % wbRingSize].push_back({r, v});
+    WbSlot &slot = wbRing[due % wbRingSize];
+    tm_assert(slot.n < wbSlotCap, "writeback ring slot overflow "
+              "(capacity %u)", wbSlotCap);
+    slot.e[slot.n++] = {r, v};
 }
 
 void
 Processor::commitWritebacks()
 {
-    auto &slot = wbRing[issueTick % wbRingSize];
-    for (const auto &wb : slot) {
-        regs[wb.reg] = wb.value;
-        stats.inc("regfile_writes");
-    }
-    slot.clear();
+    WbSlot &slot = wbRing[issueTick % wbRingSize];
+    for (uint32_t i = 0; i < slot.n; ++i)
+        regs[slot.e[i].reg] = slot.e[i].value;
+    if (slot.n)
+        hRegfileWrites.inc(slot.n);
+    slot.n = 0;
 }
 
 const DecodedInst &
 Processor::decodeAt(Addr addr, std::optional<uint16_t> templ)
 {
-    auto it = decodeCache.find(addr);
-    if (it != decodeCache.end())
-        return it->second;
-    DecodedInst d = decodeInst(prog->bytes, addr, templ);
-    return decodeCache.emplace(addr, std::move(d)).first->second;
+    auto [it, inserted] = decodeCache.try_emplace(addr);
+    if (inserted)
+        it->second = decodeInst(prog->bytes, addr, templ);
+    return it->second;
+}
+
+const PredecodedInst &
+Processor::predecodeAt(Addr addr, std::optional<uint16_t> templ)
+{
+    int32_t idx = pdIndex[addr];
+    if (idx >= 0)
+        return pdPool[size_t(idx)];
+    return predecode(addr, templ);
+}
+
+/**
+ * Build the predecoded form of the instruction at @p addr: hoist all
+ * per-static-instruction work (metadata lookup, issue-slot legality,
+ * loads-per-instruction limit, effective latencies, FU counter
+ * interning, the static register-read count) out of the per-cycle
+ * loop. Runs once per static instruction per program.
+ */
+const PredecodedInst &
+Processor::predecode(Addr addr, std::optional<uint16_t> templ)
+{
+    const DecodedInst &di = decodeAt(addr, templ);
+    PredecodedInst pi;
+    pi.size = di.size;
+    pi.nextTemplate = di.nextTemplate;
+    pi.hasNextTemplate = di.hasNextTemplate;
+    pi.nOps = 0;
+    pi.regReads = 0;
+
+    unsigned loads_this_inst = 0;
+    for (unsigned s = 0; s < numSlots; ++s) {
+        const Operation &op = di.inst.slot[s];
+        if (!op.used())
+            continue;
+        const OpInfo &oi = op.info();
+        PredecodedOp &pd = pi.ops[pi.nOps++];
+        pd.op = &op;
+        pd.oi = &oi;
+        pd.fuStat = stats.handle(fuStatName(oi.fu));
+        pd.srcMask = oi.srcPositions() & 0xf;
+        pd.issueOps = oi.isTwoSlot ? 2 : 1;
+        pd.wbLatency =
+            uint8_t(oi.isLoad ? effLoadLatency(op.opc) : oi.latency);
+        pd.cls = oi.isBranch               ? ExecClass::Branch
+                 : oi.isLoad               ? ExecClass::Load
+                 : oi.isStore              ? ExecClass::Store
+                 : op.opc == Opcode::PREF  ? ExecClass::Pref
+                                           : ExecClass::Pure;
+        // Guard + sources + the store value are read every issue.
+        pi.regReads += uint8_t(1 + std::popcount(pd.srcMask) +
+                               (oi.isStore ? 1 : 0));
+
+        if (oi.isLoad) {
+            ++loads_this_inst;
+            tm_assert(loads_this_inst <= cfg.maxLoadsPerInst,
+                      "too many loads in one instruction for %s",
+                      cfg.name.c_str());
+        }
+        // Issue-slot legality (configuration-dependent for loads).
+        uint8_t mask = oi.isLoad && !oi.isTwoSlot &&
+                               oi.fu != FuClass::FracLoad
+                           ? cfg.loadSlotMask
+                           : oi.slotMask;
+        if (op.opc == Opcode::SUPER_LD32R)
+            mask = oi.slotMask;
+        tm_assert(mask & slotBit(s + 1), "%s illegal in slot %u",
+                  std::string(oi.mnemonic).c_str(), s + 1);
+    }
+
+    pdIndex[addr] = int32_t(pdPool.size());
+    pdPool.push_back(pi);
+    return pdPool.back();
 }
 
 Cycles
@@ -144,17 +222,16 @@ Processor::fetchTiming(Addr addr, uint32_t size)
             continue;
         }
         lastFetchChunk = chunk;
-        stats.inc("icache_accesses");
-        stats.inc("icache_tag_reads", cfg.icache.assoc);
-        stats.inc("icache_data_reads",
-                  cfg.icacheSequential ? 1 : cfg.icache.assoc);
+        hIcacheAccesses.inc();
+        hIcacheTagReads.inc(cfg.icache.assoc);
+        hIcacheDataReads.inc(cfg.icacheSequential ? 1 : cfg.icache.assoc);
         Addr line = icache_.lineAddrOf(chunk);
         int way = icache_.probe(line);
         if (way >= 0) {
             icache_.touch(line, way);
             continue;
         }
-        stats.inc("icache_misses");
+        hIcacheMisses.inc();
         Cycles done = biu_.demandRead(imemTimingBase + line,
                                       icache_.lineBytes(),
                                       cycle + stall);
@@ -164,7 +241,7 @@ Processor::fetchTiming(Addr addr, uint32_t size)
         icache_.markAllValid(line, way);
     }
     if (stall)
-        stats.inc("istall_cycles", stall);
+        hIstallCycles.inc(stall);
     return stall;
 }
 
@@ -184,55 +261,36 @@ Processor::step()
 {
     commitWritebacks();
 
-    const DecodedInst &di = decodeAt(pc, nextTemplate);
-    Cycles stall = fetchTiming(pc, di.size);
+    const PredecodedInst &pi = predecodeAt(pc, nextTemplate);
+    Cycles stall = fetchTiming(pc, pi.size);
 
     // Gather phase: all operations of a VLIW instruction read the
     // register file in parallel, before any result of this or a later
     // instruction commits.
     struct Gathered
     {
-        const Operation *op;
         bool guardVal;
         std::array<Word, 4> src;
         Word storeValue;
     };
     std::array<Gathered, numSlots> g;
-    unsigned n_ops = 0;
-    unsigned loads_this_inst = 0;
+    const unsigned n_ops = pi.nOps;
 
-    for (unsigned s = 0; s < numSlots; ++s) {
-        const Operation &op = di.inst.slot[s];
-        if (!op.used())
-            continue;
-        const OpInfo &oi = op.info();
-        Gathered &ge = g[n_ops++];
-        ge.op = &op;
-        ge.guardVal = (readReg(op.guard) & 1) != 0;
+    for (unsigned i = 0; i < n_ops; ++i) {
+        const PredecodedOp &pd = pi.ops[i];
+        const Operation &op = *pd.op;
+        Gathered &ge = g[i];
+        ge.guardVal = (gatherRead(op.guard) & 1) != 0;
         ge.src = {0, 0, 0, 0};
-        for (unsigned i = 0; i < 4; ++i) {
-            if (oi.readsSrc(i))
-                ge.src[i] = readReg(op.src[i]);
+        for (unsigned k = 0; k < 4; ++k) {
+            if (pd.srcMask & (1u << k))
+                ge.src[k] = gatherRead(op.src[k]);
         }
-        ge.storeValue = oi.isStore ? readReg(op.dst[0]) : 0;
-
-        stats.inc(fuStatName(oi.fu));
-        if (oi.isLoad) {
-            ++loads_this_inst;
-            tm_assert(loads_this_inst <= cfg.maxLoadsPerInst,
-                      "too many loads in one instruction for %s",
-                      cfg.name.c_str());
-        }
-        // Issue-slot legality (configuration-dependent for loads).
-        uint8_t mask = oi.isLoad && !oi.isTwoSlot &&
-                               oi.fu != FuClass::FracLoad
-                           ? cfg.loadSlotMask
-                           : oi.slotMask;
-        if (op.opc == Opcode::SUPER_LD32R)
-            mask = oi.slotMask;
-        tm_assert(mask & slotBit(s + 1), "%s illegal in slot %u",
-                  std::string(oi.mnemonic).c_str(), s + 1);
+        ge.storeValue = pd.oi->isStore ? gatherRead(op.dst[0]) : 0;
+        pd.fuStat.inc();
     }
+    if (pi.regReads)
+        hRegfileReads.inc(pi.regReads);
 
     // Execute phase.
     bool do_halt = false;
@@ -240,11 +298,12 @@ Processor::step()
     Addr branch_target = 0;
 
     for (unsigned i = 0; i < n_ops; ++i) {
-        const Operation &op = *g[i].op;
-        const OpInfo &oi = op.info();
-        opsIssued += oi.isTwoSlot ? 2 : 1;
+        const PredecodedOp &pd = pi.ops[i];
+        const Operation &op = *pd.op;
+        opsIssued += pd.issueOps;
 
-        if (oi.isBranch) {
+        switch (pd.cls) {
+          case ExecClass::Branch: {
             bool taken = false;
             Addr target = 0;
             switch (op.opc) {
@@ -278,16 +337,16 @@ Processor::step()
                           "branch issued while a redirect is pending");
                 branch_taken = true;
                 branch_target = target;
-                stats.inc("branches_taken");
+                hBranchesTaken.inc();
             } else if (op.opc != Opcode::HALT) {
-                stats.inc("branches_not_taken");
+                hBranchesNotTaken.inc();
             }
-            continue;
-        }
+            break;
+          }
 
-        if (oi.isLoad) {
+          case ExecClass::Load: {
             if (!g[i].guardVal)
-                continue;
+                break;
             Addr addr = 0;
             Word aux = 0;
             switch (op.opc) {
@@ -316,40 +375,40 @@ Processor::step()
             }
             MemResult mr = lsu_.load(op.opc, addr, aux, cycle + stall);
             stall += mr.stall;
-            scheduleWriteback(op.dst[0], mr.data[0],
-                              effLoadLatency(op.opc));
-            if (op.opc == Opcode::SUPER_LD32R) {
-                scheduleWriteback(op.dst[1], mr.data[1],
-                                  effLoadLatency(op.opc));
-            }
-            continue;
-        }
+            scheduleWriteback(op.dst[0], mr.data[0], pd.wbLatency);
+            if (op.opc == Opcode::SUPER_LD32R)
+                scheduleWriteback(op.dst[1], mr.data[1], pd.wbLatency);
+            break;
+          }
 
-        if (oi.isStore) {
+          case ExecClass::Store: {
             if (!g[i].guardVal)
-                continue;
+                break;
             Addr addr = op.opc == Opcode::ST32R
                             ? g[i].src[0] + g[i].src[1]
                             : g[i].src[0] + Addr(op.imm);
             stall += lsu_.store(op.opc, addr, g[i].storeValue,
                                 cycle + stall);
-            continue;
-        }
+            break;
+          }
 
-        if (op.opc == Opcode::PREF) {
+          case ExecClass::Pref: {
             if (g[i].guardVal)
                 lsu_.softwarePrefetch(g[i].src[0] + Addr(op.imm),
                                       cycle + stall);
-            continue;
-        }
+            break;
+          }
 
-        // Pure operation.
-        if (!g[i].guardVal)
-            continue;
-        ExecResult er = execPure(op, g[i].src);
-        scheduleWriteback(op.dst[0], er.dst[0], oi.latency);
-        if (oi.numDst > 1)
-            scheduleWriteback(op.dst[1], er.dst[1], oi.latency);
+          case ExecClass::Pure: {
+            if (!g[i].guardVal)
+                break;
+            ExecResult er = execPure(op, g[i].src);
+            scheduleWriteback(op.dst[0], er.dst[0], pd.wbLatency);
+            if (pd.oi->numDst > 1)
+                scheduleWriteback(op.dst[1], er.dst[1], pd.wbLatency);
+            break;
+          }
+        }
     }
 
     // Advance.
@@ -358,7 +417,7 @@ Processor::step()
     cycle += 1 + stall;
     stallTotal += stall;
     if (stall)
-        stats.inc("dstall_or_istall_cycles", stall);
+        hDstallCycles.inc(stall);
     lsu_.tick(cycle);
 
     if (do_halt) {
@@ -377,9 +436,9 @@ Processor::step()
         lastFetchChunk = ~Addr(0);   // new fetch stream
         redirectCount = -1;
     } else {
-        pc += di.size;
-        nextTemplate = di.hasNextTemplate
-                           ? std::optional<uint16_t>(di.nextTemplate)
+        pc += pi.size;
+        nextTemplate = pi.hasNextTemplate
+                           ? std::optional<uint16_t>(pi.nextTemplate)
                            : std::nullopt;
     }
 }
@@ -406,9 +465,9 @@ Processor::run(uint64_t max_instrs)
     r.instrs = instrsIssued - start_instrs;
     r.ops = opsIssued - start_ops;
     r.stallCycles = stallTotal - start_stall;
-    stats.set("cycles", cycle);
-    stats.set("instrs", instrsIssued);
-    stats.set("ops", opsIssued);
+    hCycles.set(cycle);
+    hInstrs.set(instrsIssued);
+    hOps.set(opsIssued);
     return r;
 }
 
@@ -416,9 +475,10 @@ void
 Processor::reset()
 {
     regs.fill(0);
+    regs[regOne] = 1;
     readyAt.fill(0);
     for (auto &slot : wbRing)
-        slot.clear();
+        slot.n = 0;
     issueTick = 0;
     cycle = 0;
     stallTotal = 0;
@@ -432,6 +492,8 @@ Processor::reset()
     lastFetchChunk = ~Addr(0);
     icache_.invalidateAll();
     decodeCache.clear();
+    pdPool.clear();
+    pdIndex.assign(prog ? prog->bytes.size() : 0, -1);
 }
 
 } // namespace tm3270

@@ -12,6 +12,7 @@
 #define TM3270_CORE_PROCESSOR_HH
 
 #include <array>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -45,6 +46,45 @@ struct RunResult
     {
         return double(cycles) / freq_mhz;
     }
+};
+
+/** Execution dispatch class of a predecoded operation. */
+enum class ExecClass : uint8_t
+{
+    Pure,
+    Load,
+    Store,
+    Branch,
+    Pref,
+};
+
+/**
+ * One operation of a predecoded instruction: everything that is
+ * invariant for a static operation, hoisted out of the per-cycle
+ * loop — metadata pointers, the gather source mask, the two-slot op
+ * count, the effective writeback latency and the interned FU counter.
+ * Issue-slot legality is asserted once, at predecode time.
+ */
+struct PredecodedOp
+{
+    const Operation *op; ///< into the decode cache (node-stable)
+    const OpInfo *oi;
+    StatHandle fuStat;   ///< interned "cpu.fu_*" counter
+    ExecClass cls;
+    uint8_t srcMask;     ///< src[] positions read at gather
+    uint8_t issueOps;    ///< 1, or 2 for two-slot operations
+    uint8_t wbLatency;   ///< effective result latency (loads included)
+};
+
+/** A predecoded VLIW instruction: a flat array of micro-ops. */
+struct PredecodedInst
+{
+    uint32_t size;
+    uint16_t nextTemplate;
+    bool hasNextTemplate;
+    uint8_t nOps;
+    uint8_t regReads; ///< static register-file reads per issue
+    std::array<PredecodedOp, numSlots> ops;
 };
 
 /** The processor. Owns BIU, caches, LSU and MMIO; memory is shared. */
@@ -91,14 +131,32 @@ class Processor
     const EncodedProgram *prog = nullptr;
     std::unordered_map<Addr, DecodedInst> decodeCache;
 
-    // Architectural and pipeline state.
+    /** Predecoded micro-op stream: pdIndex maps a byte address of the
+     *  program image to an index into pdPool (-1: not yet predecoded).
+     *  The deque keeps element addresses stable while growing. */
+    std::deque<PredecodedInst> pdPool;
+    std::vector<int32_t> pdIndex;
+
+    // Architectural and pipeline state. regs maintains the invariant
+    // regs[r0] == 0 and regs[r1] == 1, so gather reads are unchecked
+    // array loads.
     std::array<Word, numRegs> regs{};
     struct Writeback
     {
         RegIndex reg;
         Word value;
     };
-    std::array<std::vector<Writeback>, wbRingSize> wbRing;
+    /** One writeback-ring slot: fixed-capacity inline array (no
+     *  steady-state heap churn). A single issue cycle schedules at
+     *  most numSlots ops with up to two destinations each; slots due
+     *  the same cycle from different issue cycles share the entry. */
+    static constexpr unsigned wbSlotCap = numSlots * 2;
+    struct WbSlot
+    {
+        std::array<Writeback, wbSlotCap> e;
+        uint32_t n = 0;
+    };
+    std::array<WbSlot, wbRingSize> wbRing;
     std::array<uint64_t, numRegs> readyAt{};
 
     uint64_t issueTick = 0;
@@ -116,9 +174,28 @@ class Processor
 
     Addr lastFetchChunk = ~Addr(0);
 
+    // Interned counters for the per-cycle hot path.
+    StatHandle hRegfileReads = stats.handle("regfile_reads");
+    StatHandle hRegfileWrites = stats.handle("regfile_writes");
+    StatHandle hIcacheAccesses = stats.handle("icache_accesses");
+    StatHandle hIcacheTagReads = stats.handle("icache_tag_reads");
+    StatHandle hIcacheDataReads = stats.handle("icache_data_reads");
+    StatHandle hIcacheMisses = stats.handle("icache_misses");
+    StatHandle hIstallCycles = stats.handle("istall_cycles");
+    StatHandle hBranchesTaken = stats.handle("branches_taken");
+    StatHandle hBranchesNotTaken = stats.handle("branches_not_taken");
+    StatHandle hDstallCycles = stats.handle("dstall_or_istall_cycles");
+    StatHandle hCycles = stats.handle("cycles");
+    StatHandle hInstrs = stats.handle("instrs");
+    StatHandle hOps = stats.handle("ops");
+
     const DecodedInst &decodeAt(Addr addr,
                                 std::optional<uint16_t> templ);
-    Word readReg(RegIndex r);
+    const PredecodedInst &predecodeAt(Addr addr,
+                                      std::optional<uint16_t> templ);
+    const PredecodedInst &predecode(Addr addr,
+                                    std::optional<uint16_t> templ);
+    Word gatherRead(RegIndex r);
     void scheduleWriteback(RegIndex r, Word v, unsigned latency);
     void commitWritebacks();
     Cycles fetchTiming(Addr addr, uint32_t size);

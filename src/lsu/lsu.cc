@@ -60,7 +60,7 @@ Lsu::servicePrefetches(Cycles now)
             if (v.valid && v.dirty)
                 biu.asyncWrite(v.lineAddr, dc.lineBytes(), now);
             pfInstalled.insert(la);
-            stats.inc("prefetch_installed");
+            hPrefetchInstalled.inc();
         }
         pfPending.erase(la);
         inflightPf.erase(inflightPf.begin() + long(i));
@@ -83,7 +83,7 @@ Lsu::tryIssuePrefetch(Cycles now)
             break; // bus busy with demand traffic
         pfQueue.pop_front();
         inflightPf.push_back({la, done});
-        stats.inc("prefetch_issued");
+        hPrefetchIssued.inc();
     }
 }
 
@@ -96,7 +96,7 @@ Lsu::enqueuePrefetch(Addr line_addr)
     }
     pfQueue.push_back(line_addr);
     pfPending.insert(line_addr);
-    stats.inc("prefetch_requests");
+    hPrefetchRequests.inc();
 }
 
 void
@@ -118,8 +118,8 @@ Lsu::cwbPush(Cycles now)
         // Wait for the oldest pending write to drain into the array.
         stall = cwb.front() - now;
         cwb.pop_front();
-        stats.inc("cwb_full_stalls");
-        stats.inc("cwb_full_stall_cycles", stall);
+        hCwbFullStalls.inc();
+        hCwbFullStallCycles.inc(stall);
     }
     Cycles drain = std::max(now + stall, cwbLastDrain + 1);
     cwbLastDrain = drain;
@@ -136,9 +136,9 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
     int way = dc.probe(line_addr);
     if (way >= 0 && dc.bytesValid(line_addr, way, offset, len)) {
         dc.touch(line_addr, way);
-        stats.inc("load_line_hits");
+        hLoadLineHits.inc();
         if (pfInstalled.erase(line_addr))
-            stats.inc("prefetch_useful");
+            hPrefetchUseful.inc();
         return 0;
     }
 
@@ -148,19 +148,19 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
         Cycles done = inflightPf[size_t(ifl)].done;
         Cycles stall = done > now ? done - now : 0;
         servicePrefetches(done);
-        stats.inc("load_prefetch_waits");
-        stats.inc("load_prefetch_wait_cycles", stall);
+        hLoadPrefetchWaits.inc();
+        hLoadPrefetchWaitCycles.inc(stall);
         int w = dc.probe(line_addr);
         tm_assert(w >= 0, "prefetched line not installed");
         dc.touch(line_addr, w);
         return stall;
     }
 
-    stats.inc("load_line_misses");
+    hLoadLineMisses.inc();
     Cycles done = biu.demandRead(line_addr, dc.lineBytes(), now);
     if (way >= 0) {
         // Allocated-but-partially-invalid line: refill merge.
-        stats.inc("load_validity_misses");
+        hLoadValidityMisses.inc();
         dc.fillFromMemory(mem, line_addr, way);
         dc.touch(line_addr, way);
     } else {
@@ -171,7 +171,7 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
             biu.asyncWrite(v.lineAddr, dc.lineBytes(), done);
     }
     Cycles stall = done - now;
-    stats.inc("load_miss_stall_cycles", stall);
+    hLoadMissStallCycles.inc(stall);
     return stall;
 }
 
@@ -183,7 +183,7 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now)
     int way = dc.probe(line_addr);
     if (way >= 0) {
         dc.touch(line_addr, way);
-        stats.inc("store_line_hits");
+        hStoreLineHits.inc();
         return 0;
     }
 
@@ -198,7 +198,7 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now)
         return stall;
     }
 
-    stats.inc("store_line_misses");
+    hStoreLineMisses.inc();
     Cycles stall = 0;
     Victim v = dc.allocate(line_addr, way);
     writeVictim(v);
@@ -207,7 +207,7 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now)
         // bytes invalid and the byte-validity mask tracks the stores.
         if (v.valid && v.dirty)
             biu.asyncWrite(v.lineAddr, dc.lineBytes(), now);
-        stats.inc("store_allocations");
+        hStoreAllocations.inc();
     } else {
         // Fetch-on-write-miss (TM3260): the line is fetched from
         // memory before the store merges into it.
@@ -216,7 +216,7 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now)
         if (v.valid && v.dirty)
             biu.asyncWrite(v.lineAddr, dc.lineBytes(), done);
         stall = done - now;
-        stats.inc("store_fetch_stall_cycles", stall);
+        hStoreFetchStallCycles.inc(stall);
     }
     return stall;
 }
@@ -228,7 +228,7 @@ Lsu::accessLoadBytes(Addr addr, unsigned len, uint8_t *out, Cycles now)
     Addr la = dc.lineAddrOf(addr);
     Addr la_end = dc.lineAddrOf(addr + len - 1);
     if (la != la_end)
-        stats.inc("load_line_crossings");
+        hLoadLineCrossings.inc();
 
     unsigned done = 0;
     Addr cur = addr;
@@ -253,7 +253,7 @@ Lsu::accessStoreBytes(Addr addr, unsigned len, const uint8_t *data,
     Addr la = dc.lineAddrOf(addr);
     Addr la_end = dc.lineAddrOf(addr + len - 1);
     if (la != la_end)
-        stats.inc("store_line_crossings");
+        hStoreLineCrossings.inc();
 
     unsigned done = 0;
     Addr cur = addr;
@@ -274,9 +274,9 @@ MemResult
 Lsu::load(Opcode opc, Addr addr, Word aux, Cycles now)
 {
     MemResult r;
-    stats.inc("loads");
+    hLoads.inc();
     if (addr & (memAccessSize(opc) >= 4 ? 3 : memAccessSize(opc) - 1))
-        stats.inc("nonaligned_loads");
+        hNonalignedLoads.inc();
 
     if (isMmio(addr)) {
         tm_assert(opc == Opcode::LD32D || opc == Opcode::LD32R ||
@@ -335,7 +335,7 @@ Lsu::load(Opcode opc, Addr addr, Word aux, Cycles now)
 Cycles
 Lsu::store(Opcode opc, Addr addr, Word value, Cycles now)
 {
-    stats.inc("stores");
+    hStores.inc();
 
     if (isMmio(addr)) {
         tm_assert(opc == Opcode::ST32D || opc == Opcode::ST32R,

@@ -103,6 +103,33 @@ class Lsu
     std::unordered_set<Addr> pfPending;   ///< queued or in flight
     std::unordered_set<Addr> pfInstalled; ///< for usefulness stats
 
+    // Interned counters for the per-access hot path.
+    StatHandle hLoads = stats.handle("loads");
+    StatHandle hStores = stats.handle("stores");
+    StatHandle hNonalignedLoads = stats.handle("nonaligned_loads");
+    StatHandle hLoadLineHits = stats.handle("load_line_hits");
+    StatHandle hLoadLineMisses = stats.handle("load_line_misses");
+    StatHandle hLoadValidityMisses = stats.handle("load_validity_misses");
+    StatHandle hLoadMissStallCycles =
+        stats.handle("load_miss_stall_cycles");
+    StatHandle hLoadLineCrossings = stats.handle("load_line_crossings");
+    StatHandle hLoadPrefetchWaits = stats.handle("load_prefetch_waits");
+    StatHandle hLoadPrefetchWaitCycles =
+        stats.handle("load_prefetch_wait_cycles");
+    StatHandle hStoreLineHits = stats.handle("store_line_hits");
+    StatHandle hStoreLineMisses = stats.handle("store_line_misses");
+    StatHandle hStoreAllocations = stats.handle("store_allocations");
+    StatHandle hStoreFetchStallCycles =
+        stats.handle("store_fetch_stall_cycles");
+    StatHandle hStoreLineCrossings = stats.handle("store_line_crossings");
+    StatHandle hCwbFullStalls = stats.handle("cwb_full_stalls");
+    StatHandle hCwbFullStallCycles =
+        stats.handle("cwb_full_stall_cycles");
+    StatHandle hPrefetchRequests = stats.handle("prefetch_requests");
+    StatHandle hPrefetchIssued = stats.handle("prefetch_issued");
+    StatHandle hPrefetchInstalled = stats.handle("prefetch_installed");
+    StatHandle hPrefetchUseful = stats.handle("prefetch_useful");
+
     bool isMmio(Addr addr) const;
     void writeVictim(const Victim &v);
     Cycles ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,

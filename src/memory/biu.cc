@@ -22,9 +22,9 @@ Biu::demandRead(Addr addr, unsigned bytes, Cycles now)
     Cycles start = std::max(now, busBusyUntil);
     Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes));
     busBusyUntil = start + dur;
-    stats.inc("demand_reads");
-    stats.inc("demand_read_bytes", bytes);
-    stats.inc("bus_wait_cycles", start - now);
+    hDemandReads.inc();
+    hDemandReadBytes.inc(bytes);
+    hBusWaitCycles.inc(start - now);
     return busBusyUntil;
 }
 
@@ -34,8 +34,8 @@ Biu::asyncWrite(Addr addr, unsigned bytes, Cycles now)
     Cycles start = std::max(now, busBusyUntil);
     Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes));
     busBusyUntil = start + dur;
-    stats.inc("writes");
-    stats.inc("write_bytes", bytes);
+    hWrites.inc();
+    hWriteBytes.inc(bytes);
     return busBusyUntil;
 }
 
@@ -46,8 +46,8 @@ Biu::prefetchRead(Addr addr, unsigned bytes, Cycles now)
         return 0; // demand traffic has priority; retry later
     Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes));
     busBusyUntil = now + dur;
-    stats.inc("prefetch_reads");
-    stats.inc("prefetch_read_bytes", bytes);
+    hPrefetchReads.inc();
+    hPrefetchReadBytes.inc(bytes);
     return busBusyUntil;
 }
 

@@ -63,6 +63,15 @@ class Biu
     uint32_t cpuMHz;
     Cycles busBusyUntil = 0;
 
+    // Interned counters for the per-transaction hot path.
+    StatHandle hDemandReads = stats.handle("demand_reads");
+    StatHandle hDemandReadBytes = stats.handle("demand_read_bytes");
+    StatHandle hBusWaitCycles = stats.handle("bus_wait_cycles");
+    StatHandle hWrites = stats.handle("writes");
+    StatHandle hWriteBytes = stats.handle("write_bytes");
+    StatHandle hPrefetchReads = stats.handle("prefetch_reads");
+    StatHandle hPrefetchReadBytes = stats.handle("prefetch_read_bytes");
+
     Cycles toCpuCycles(Cycles mem_cycles) const;
 };
 

@@ -73,13 +73,13 @@ MainMemory::transactionCycles(Addr addr, unsigned bytes)
     if (openRow[bank] != row) {
         cyc += (openRow[bank] >= 0 ? cfg.tRp : 0) + cfg.tRcd;
         openRow[bank] = row;
-        stats.inc("row_misses");
+        hRowMisses.inc();
     } else {
-        stats.inc("row_hits");
+        hRowHits.inc();
     }
     cyc += (bytes + cfg.busBytes - 1) / cfg.busBytes;
-    stats.inc("transactions");
-    stats.inc("bytes", bytes);
+    hTransactions.inc();
+    hBytes.inc(bytes);
     return cyc;
 }
 

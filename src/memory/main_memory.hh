@@ -73,6 +73,12 @@ class MainMemory
     DdrConfig cfg;
     std::vector<int64_t> openRow; ///< per bank; -1 = closed
 
+    // Interned counters for the per-transaction hot path.
+    StatHandle hRowMisses = stats.handle("row_misses");
+    StatHandle hRowHits = stats.handle("row_hits");
+    StatHandle hTransactions = stats.handle("transactions");
+    StatHandle hBytes = stats.handle("bytes");
+
     unsigned bankOf(Addr addr) const;
     int64_t rowOf(Addr addr) const;
 };

@@ -3,6 +3,17 @@
  * Lightweight named-counter statistics, in the spirit of gem5's stats
  * package. Units register scalar counters in a StatGroup; harnesses
  * read or dump them after simulation.
+ *
+ * Two access paths share one storage:
+ *
+ *  - the string API (inc/set/get by name) for harnesses and cold code;
+ *  - interned StatHandles for hot code: a handle is resolved once (at
+ *    unit construction or predecode time) and increments through a
+ *    stable pointer, with no per-event map lookup.
+ *
+ * A counter becomes visible in dump()/all() only once it has been
+ * touched through either path, so pre-interning a handle does not
+ * change dump output relative to purely string-keyed use.
  */
 
 #ifndef TM3270_SUPPORT_STATS_HH
@@ -16,24 +27,83 @@
 namespace tm3270
 {
 
+namespace stats_detail
+{
+/** Storage of one counter; lives in a node-based map, so its address
+ *  is stable for the lifetime of the owning StatGroup. */
+struct Counter
+{
+    uint64_t value = 0;
+    bool touched = false; ///< ever incremented/set; gates dump output
+};
+} // namespace stats_detail
+
+/**
+ * Interned reference to one counter of a StatGroup. Obtained once via
+ * StatGroup::handle(); increments are a direct memory write. Remains
+ * valid across StatGroup::reset() for the lifetime of the group.
+ */
+class StatHandle
+{
+  public:
+    StatHandle() = default;
+
+    /** Resolved to a counter? (default-constructed handles are not). */
+    bool valid() const { return c != nullptr; }
+
+    void
+    inc(uint64_t n = 1) const
+    {
+        c->value += n;
+        c->touched = true;
+    }
+
+    void
+    set(uint64_t v) const
+    {
+        c->value = v;
+        c->touched = true;
+    }
+
+    uint64_t get() const { return c->value; }
+
+  private:
+    friend class StatGroup;
+    explicit StatHandle(stats_detail::Counter *c_) : c(c_) {}
+    stats_detail::Counter *c = nullptr;
+};
+
 /** A hierarchical group of named 64-bit counters. */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name) : groupName(std::move(name)) {}
 
+    /**
+     * Intern @p name and return a stable handle to its counter. The
+     * counter stays invisible to dump()/all() until first touched.
+     */
+    StatHandle handle(const std::string &name)
+    {
+        return StatHandle(&counters[name]);
+    }
+
     /** Increment counter @p name by @p n (creating it at 0 if new). */
     void
     inc(const std::string &name, uint64_t n = 1)
     {
-        counters[name] += n;
+        auto &c = counters[name];
+        c.value += n;
+        c.touched = true;
     }
 
     /** Set counter @p name to an absolute value. */
     void
     set(const std::string &name, uint64_t v)
     {
-        counters[name] = v;
+        auto &c = counters[name];
+        c.value = v;
+        c.touched = true;
     }
 
     /** Read a counter; returns 0 when it has never been touched. */
@@ -41,34 +111,45 @@ class StatGroup
     get(const std::string &name) const
     {
         auto it = counters.find(name);
-        return it == counters.end() ? 0 : it->second;
+        return it == counters.end() ? 0 : it->second.value;
     }
 
-    /** Reset every counter to zero. */
+    /** Reset every counter to zero (touched counters stay visible). */
     void
     reset()
     {
         for (auto &kv : counters)
-            kv.second = 0;
+            kv.second.value = 0;
     }
 
     /** Group name used as a dump prefix. */
     const std::string &name() const { return groupName; }
 
-    /** All counters, sorted by name. */
-    const std::map<std::string, uint64_t> &all() const { return counters; }
+    /** All touched counters, sorted by name. */
+    std::map<std::string, uint64_t>
+    all() const
+    {
+        std::map<std::string, uint64_t> out;
+        for (const auto &[k, c] : counters) {
+            if (c.touched)
+                out.emplace(k, c.value);
+        }
+        return out;
+    }
 
     /** Write "group.counter value" lines to @p os. */
     void
     dump(std::ostream &os) const
     {
-        for (const auto &[k, v] : counters)
-            os << groupName << '.' << k << ' ' << v << '\n';
+        for (const auto &[k, c] : counters) {
+            if (c.touched)
+                os << groupName << '.' << k << ' ' << c.value << '\n';
+        }
     }
 
   private:
     std::string groupName;
-    std::map<std::string, uint64_t> counters;
+    std::map<std::string, stats_detail::Counter> counters;
 };
 
 } // namespace tm3270

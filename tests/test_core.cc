@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/system.hh"
 #include "support/logging.hh"
+#include "tir/scheduler.hh"
+#include "workloads/workload.hh"
 
 using namespace tm3270;
 
@@ -378,4 +382,87 @@ TEST(Core, ConfigTable6)
     EXPECT_EQ(b.dcache.lineBytes, 128u); // TM3270 line size
     MachineConfig c = configByLetter('C');
     EXPECT_EQ(c.freqMHz, 350u);
+}
+
+// ---------------------------------------------------------------------
+// Fast-path determinism/equivalence guard.
+//
+// The interpreter's fast path (predecoded micro-op stream, interned
+// stat handles, inline writeback ring) must be a pure speedup: the
+// same workload must produce bit-identical results and stat dumps in
+// any fresh simulator instance, and again after Processor::reset().
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+dumpAllStats(System &sys)
+{
+    std::ostringstream os;
+    sys.processor.stats.dump(os);
+    sys.processor.lsu().stats.dump(os);
+    sys.processor.lsu().dcache().stats.dump(os);
+    sys.processor.icache().stats.dump(os);
+    sys.processor.biu().stats.dump(os);
+    sys.memory.stats.dump(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(Core, DeterministicRunAndStatDumps)
+{
+    workloads::Workload w = workloads::filterWorkload();
+    tir::CompiledProgram cp = tir::compile(w.build(), tm3270Config());
+
+    System a(tm3270Config());
+    w.init(a);
+    RunResult ra = a.runProgram(cp.encoded);
+    ASSERT_TRUE(ra.halted);
+    std::string dump_a = dumpAllStats(a);
+
+    System b(tm3270Config());
+    w.init(b);
+    RunResult rb = b.runProgram(cp.encoded);
+    ASSERT_TRUE(rb.halted);
+
+    EXPECT_EQ(ra.exitValue, rb.exitValue);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.instrs, rb.instrs);
+    EXPECT_EQ(ra.ops, rb.ops);
+    EXPECT_EQ(ra.stallCycles, rb.stallCycles);
+    EXPECT_EQ(dump_a, dumpAllStats(b));
+    EXPECT_FALSE(dump_a.empty());
+
+    std::string err;
+    EXPECT_TRUE(w.verify(b, err)) << err;
+}
+
+TEST(Core, RunAfterResetIsIdentical)
+{
+    workloads::Workload w = workloads::filterWorkload();
+    tir::CompiledProgram cp = tir::compile(w.build(), tm3270Config());
+
+    System sys(tm3270Config());
+    w.init(sys);
+    RunResult r1 = sys.runProgram(cp.encoded);
+    ASSERT_TRUE(r1.halted);
+
+    // Micro-architectural reset (core + bus + DRAM timing), then
+    // restage the input and run the same program again.
+    sys.processor.reset();
+    sys.processor.biu().reset();
+    w.init(sys);
+    RunResult r2 = sys.runProgram(cp.encoded);
+    ASSERT_TRUE(r2.halted);
+
+    EXPECT_EQ(r1.exitValue, r2.exitValue);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.instrs, r2.instrs);
+    EXPECT_EQ(r1.ops, r2.ops);
+    EXPECT_EQ(r1.stallCycles, r2.stallCycles);
+
+    std::string err;
+    EXPECT_TRUE(w.verify(sys, err)) << err;
 }

@@ -16,13 +16,18 @@
  * averaging 2.29, an A > B,C anomaly on MPEG2 (128-byte lines thrash
  * the 16 KB cache) and the largest A->B jump on memcpy
  * (allocate-on-write-miss).
+ *
+ * The 11x4 matrix of independent simulations is submitted through the
+ * parallel SweepDriver (worker count: TM_JOBS, default host cores);
+ * a host-throughput report is written to BENCH_sweep.json so the
+ * sweep wall-clock is gated like BENCH_simrate.json.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
-#include "workloads/workload.hh"
+#include "driver/sweep.hh"
 
 using namespace tm3270;
 using namespace tm3270::workloads;
@@ -31,31 +36,46 @@ int
 main()
 {
     const char configs[] = {'A', 'B', 'C', 'D'};
+    std::vector<Workload> suite = table5Suite();
+    std::vector<driver::SimJob> jobs;
+    for (const Workload &w : suite)
+        for (char c : configs)
+            jobs.push_back(driver::makeJob(w, c));
+
+    driver::SweepDriver drv;
     std::printf("E5 / Figure 7: relative performance (higher is "
-                "better, A = 1.00)\n");
+                "better, A = 1.00); %zu jobs on %u worker(s)\n",
+                jobs.size(), drv.workers());
+    driver::SweepReport rep = drv.run(jobs);
+
     std::printf("%-14s %8s %8s %8s %8s   %12s\n", "workload", "A", "B",
                 "C", "D", "cycles(A)");
-
+    int ret = 0;
     double geo_d = 1.0, sum_d = 0.0;
     unsigned n = 0;
-    std::vector<Workload> suite = table5Suite();
-    for (const Workload &w : suite) {
+    for (size_t wi = 0; wi < suite.size(); ++wi) {
         double time_a = 0;
         double rel[4] = {0, 0, 0, 0};
         uint64_t cyc_a = 0;
         for (unsigned i = 0; i < 4; ++i) {
-            MachineConfig cfg = configByLetter(configs[i]);
-            RunResult r = runWorkload(w, cfg);
-            double t = r.microseconds(cfg.freqMHz);
+            const driver::JobResult &jr = rep.results[wi * 4 + i];
+            if (!jr.ok) {
+                std::fprintf(stderr, "FAILED %s: %s\n", jr.tag.c_str(),
+                             jr.error.c_str());
+                ret = 1;
+                continue;
+            }
+            double t =
+                jr.run.microseconds(configByLetter(configs[i]).freqMHz);
             if (i == 0) {
                 time_a = t;
-                cyc_a = r.cycles;
+                cyc_a = jr.run.cycles;
             }
             rel[i] = time_a / t;
         }
         std::printf("%-14s %8.2f %8.2f %8.2f %8.2f   %12llu\n",
-                    w.name.c_str(), rel[0], rel[1], rel[2], rel[3],
-                    static_cast<unsigned long long>(cyc_a));
+                    suite[wi].name.c_str(), rel[0], rel[1], rel[2],
+                    rel[3], static_cast<unsigned long long>(cyc_a));
         geo_d *= rel[3];
         sum_d += rel[3];
         ++n;
@@ -64,5 +84,14 @@ main()
                 "", "", "", sum_d / n);
     std::printf("%-14s %8s %8s %8s %8.2f\n", "geomean", "", "", "",
                 std::pow(geo_d, 1.0 / n));
-    return 0;
+
+    std::printf("\nsweep: %.0f ms wall (serial-equivalent %.0f ms, "
+                "%.2fx pool speedup), %.1f Minstr/s host, "
+                "%llu compiles + %llu cache hits\n",
+                rep.wallMs, rep.jobWallMsSum, rep.speedup(),
+                rep.instrsPerSecond() / 1e6,
+                static_cast<unsigned long long>(rep.cacheMisses),
+                static_cast<unsigned long long>(rep.cacheHits));
+    driver::writeSweepReport(rep, "figure7", "BENCH_sweep.json");
+    return ret;
 }

@@ -4,7 +4,8 @@
  * (paper Tables 1 and 6) derived from the machine configurations,
  * then runs google-benchmark micro-benchmarks of the simulator
  * substrate itself (simulation rate, encode/decode, cache and CABAC
- * throughput).
+ * throughput, and the host-parallel sweep driver at several worker
+ * counts).
  */
 
 #include <benchmark/benchmark.h>
@@ -13,10 +14,10 @@
 
 #include "cabac/cabac.hh"
 #include "cache/cache.hh"
+#include "driver/sweep.hh"
 #include "encode/decoder.hh"
 #include "tir/builder.hh"
 #include "tir/scheduler.hh"
-#include "workloads/workload.hh"
 
 using namespace tm3270;
 
@@ -150,6 +151,42 @@ BM_CabacGoldenDecode(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CabacGoldenDecode)->Unit(benchmark::kMillisecond);
+
+/** Host throughput of a (workload x config) sweep through the
+ *  SweepDriver at a given worker count (arg 0). items/s = simulated
+ *  VLIW instructions per wall second across the whole matrix. */
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    const unsigned workers = unsigned(state.range(0));
+    std::vector<tm3270::driver::SimJob> jobs;
+    using tm3270::workloads::Workload;
+    for (const Workload &w : tm3270::workloads::table5Suite()) {
+        if (w.name != "memcpy" && w.name != "filter"
+            && w.name != "rgb2yuv")
+            continue;
+        for (char c : {'A', 'B', 'C', 'D'})
+            jobs.push_back(tm3270::driver::makeJob(w, c));
+    }
+    // One driver across iterations: after the first, every cell is a
+    // ProgramCache hit and the measurement isolates simulation time.
+    tm3270::driver::SweepDriver drv(workers);
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        tm3270::driver::SweepReport rep = drv.run(jobs);
+        if (rep.failed)
+            state.SkipWithError("sweep job failed");
+        instrs += rep.simInstrs;
+        benchmark::DoNotOptimize(rep);
+    }
+    state.SetItemsProcessed(int64_t(instrs));
+}
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"workers"})
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -1,0 +1,49 @@
+#include "driver/program_cache.hh"
+
+#include "support/logging.hh"
+
+namespace tm3270::driver
+{
+
+std::string
+programCacheKey(const std::string &workload, const MachineConfig &cfg)
+{
+    tir::SchedConfig sc = tir::SchedConfig::fromMachine(cfg);
+    return strfmt("%s|slots%02x|ld%u|jd%u|lat%u|%s", workload.c_str(),
+                  sc.loadSlotMask, sc.maxLoadsPerInst, sc.jumpDelaySlots,
+                  sc.loadLatency, sc.allowTm3270Ops ? "tm3270" : "tm3260");
+}
+
+ProgramCache::ProgramPtr
+ProgramCache::get(const workloads::Workload &w, const MachineConfig &cfg)
+{
+    const std::string key = programCacheKey(w.name, cfg);
+    std::promise<ProgramPtr> prom;
+    std::shared_future<ProgramPtr> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        auto it = entries.find(key);
+        if (it == entries.end()) {
+            fut = prom.get_future().share();
+            entries.emplace(key, fut);
+            owner = true;
+        } else {
+            fut = it->second;
+        }
+    }
+    if (owner) {
+        nMisses.fetch_add(1, std::memory_order_relaxed);
+        try {
+            prom.set_value(std::make_shared<const tir::CompiledProgram>(
+                tir::compile(w.build(), cfg)));
+        } catch (...) {
+            prom.set_exception(std::current_exception());
+        }
+    } else {
+        nHits.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fut.get(); // rethrows a cached compile failure
+}
+
+} // namespace tm3270::driver

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Thread-safe cache of compiled TIR programs for simulation sweeps,
+ * keyed by (workload name, scheduling-relevant configuration fields).
+ * tir::compile runs once per distinct key even when many sweep jobs
+ * request the same program concurrently; the compiled/encoded program
+ * is shared by reference (the processor only ever reads it).
+ */
+
+#ifndef TM3270_DRIVER_PROGRAM_CACHE_HH
+#define TM3270_DRIVER_PROGRAM_CACHE_HH
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "tir/scheduler.hh"
+#include "workloads/workload.hh"
+
+namespace tm3270::driver
+{
+
+/**
+ * Cache key: workload identity plus every MachineConfig field the
+ * compiler observes (SchedConfig::fromMachine). Configurations B, C
+ * and D share a key — they differ only in frequency and cache
+ * geometry, which the scheduler never sees — so a Figure-7 sweep
+ * compiles each workload twice (A and B/C/D), not four times.
+ */
+std::string programCacheKey(const std::string &workload,
+                            const MachineConfig &cfg);
+
+/**
+ * Compile-once program cache. get() is safe to call from any number
+ * of sweep worker threads: the first caller for a key compiles while
+ * later callers for the same key block on the shared future. A
+ * compile failure (FatalError) is cached too and rethrown to every
+ * requester of that key.
+ */
+class ProgramCache
+{
+  public:
+    using ProgramPtr = std::shared_ptr<const tir::CompiledProgram>;
+
+    /** Fetch (or compile exactly once) the program for @p w on @p cfg. */
+    ProgramPtr get(const workloads::Workload &w, const MachineConfig &cfg);
+
+    uint64_t hits() const { return nHits.load(); }
+    uint64_t misses() const { return nMisses.load(); }
+
+  private:
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_future<ProgramPtr>> entries;
+    std::atomic<uint64_t> nHits{0};
+    std::atomic<uint64_t> nMisses{0};
+};
+
+} // namespace tm3270::driver
+
+#endif // TM3270_DRIVER_PROGRAM_CACHE_HH

@@ -1,0 +1,224 @@
+#include "driver/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/logging.hh"
+
+namespace tm3270::driver
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Harvest every stat group of @p sys into @p jr (map + text dump). */
+void
+collectStats(System &sys, JobResult &jr)
+{
+    const StatGroup *groups[] = {
+        &sys.processor.stats,
+        &sys.processor.lsu().stats,
+        &sys.processor.lsu().dcache().stats,
+        &sys.processor.icache().stats,
+        &sys.processor.biu().stats,
+        &sys.memory.stats,
+    };
+    std::ostringstream os;
+    for (const StatGroup *g : groups) {
+        g->dump(os);
+        for (const auto &[k, v] : g->all())
+            jr.stats.emplace(g->name() + "." + k, v);
+    }
+    jr.statDump = os.str();
+}
+
+/** Execute one job: compile (through the cache), run, verify, harvest
+ *  stats. Never throws — every failure becomes {ok=false, error}. */
+JobResult
+runJob(const SimJob &job, ProgramCache &cache)
+{
+    JobResult jr;
+    jr.tag = job.tag;
+    Clock::time_point t0 = Clock::now();
+    try {
+        ProgramCache::ProgramPtr prog = cache.get(job.workload, job.config);
+        System sys(job.config);
+        workloads::RunOutcome o =
+            workloads::runWorkloadOn(sys, job.workload, prog->encoded);
+        jr.ok = o.ok;
+        jr.error = o.error;
+        jr.run = o.run;
+        collectStats(sys, jr);
+    } catch (const FatalError &e) {
+        jr.ok = false;
+        jr.error = e.what();
+    } catch (const std::exception &e) {
+        jr.ok = false;
+        jr.error = e.what();
+    }
+    jr.wallMs = msSince(t0);
+    return jr;
+}
+
+/** Minimal JSON string escaping for tags and error messages. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                out += strfmt("\\u%04x", ch);
+            else
+                out += ch;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SimJob
+makeJob(workloads::Workload w, char letter)
+{
+    MachineConfig cfg = configByLetter(letter);
+    return makeJob(std::move(w), letter, std::move(cfg));
+}
+
+SimJob
+makeJob(workloads::Workload w, char letter, MachineConfig cfg,
+        std::string tag)
+{
+    SimJob j;
+    if (tag.empty())
+        tag = strfmt("%s/%c", w.name.c_str(), letter);
+    j.workload = std::move(w);
+    j.configLetter = letter;
+    j.config = std::move(cfg);
+    j.tag = std::move(tag);
+    return j;
+}
+
+unsigned
+resolveWorkerCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("TM_JOBS")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return unsigned(n);
+        warn("ignoring TM_JOBS='%s' (want a positive integer)", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepReport
+SweepDriver::run(const std::vector<SimJob> &jobs)
+{
+    SweepReport rep;
+    rep.workers = nWorkers;
+    rep.results.resize(jobs.size());
+    const uint64_t hits0 = cache_.hits();
+    const uint64_t misses0 = cache_.misses();
+
+    Clock::time_point t0 = Clock::now();
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (size_t i; (i = next.fetch_add(1)) < jobs.size();)
+            rep.results[i] = runJob(jobs[i], cache_);
+    };
+    const size_t pool = std::min<size_t>(nWorkers, jobs.size());
+    if (pool <= 1) {
+        worker();
+    } else {
+        std::vector<std::jthread> threads;
+        threads.reserve(pool);
+        for (size_t t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+    } // jthreads join here
+    rep.wallMs = msSince(t0);
+
+    for (const JobResult &jr : rep.results) {
+        rep.jobWallMsSum += jr.wallMs;
+        rep.simInstrs += jr.run.instrs;
+        rep.simCycles += jr.run.cycles;
+        rep.failed += !jr.ok;
+    }
+    rep.cacheHits = cache_.hits() - hits0;
+    rep.cacheMisses = cache_.misses() - misses0;
+    return rep;
+}
+
+void
+writeSweepReport(const SweepReport &rep, const std::string &sweepName,
+                 const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write sweep report to %s", path.c_str());
+        return;
+    }
+    os << "{\n";
+    os << "  \"context\": {\n";
+    os << strfmt("    \"sweep\": \"%s\",\n",
+                 jsonEscape(sweepName).c_str());
+    os << strfmt("    \"workers\": %u,\n", rep.workers);
+    os << strfmt("    \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    os << strfmt("    \"jobs\": %zu\n", rep.results.size());
+    os << "  },\n";
+    os << "  \"aggregate\": {\n";
+    os << strfmt("    \"wall_ms\": %.3f,\n", rep.wallMs);
+    os << strfmt("    \"job_wall_ms_sum\": %.3f,\n", rep.jobWallMsSum);
+    os << strfmt("    \"parallel_speedup\": %.3f,\n", rep.speedup());
+    os << strfmt("    \"items_per_second\": %.1f,\n",
+                 rep.instrsPerSecond());
+    os << strfmt("    \"sim_instrs\": %llu,\n",
+                 static_cast<unsigned long long>(rep.simInstrs));
+    os << strfmt("    \"sim_cycles\": %llu,\n",
+                 static_cast<unsigned long long>(rep.simCycles));
+    os << strfmt("    \"cache_hits\": %llu,\n",
+                 static_cast<unsigned long long>(rep.cacheHits));
+    os << strfmt("    \"cache_misses\": %llu,\n",
+                 static_cast<unsigned long long>(rep.cacheMisses));
+    os << strfmt("    \"failed_jobs\": %zu\n", rep.failed);
+    os << "  },\n";
+    os << "  \"jobs\": [\n";
+    for (size_t i = 0; i < rep.results.size(); ++i) {
+        const JobResult &jr = rep.results[i];
+        os << strfmt("    {\"tag\": \"%s\", \"ok\": %s, "
+                     "\"wall_ms\": %.3f, \"cycles\": %llu, "
+                     "\"instrs\": %llu, \"error\": \"%s\"}%s\n",
+                     jsonEscape(jr.tag).c_str(), jr.ok ? "true" : "false",
+                     jr.wallMs,
+                     static_cast<unsigned long long>(jr.run.cycles),
+                     static_cast<unsigned long long>(jr.run.instrs),
+                     jsonEscape(jr.error).c_str(),
+                     i + 1 < rep.results.size() ? "," : "");
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+} // namespace tm3270::driver

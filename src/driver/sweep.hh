@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Host-parallel simulation sweeps. The paper's evaluation is a matrix
+ * of independent (workload x configuration) runs — Figure 7 alone is
+ * 11 workloads x 4 configurations — and each simulated run is
+ * single-threaded and fully isolated (its own System, memory and stat
+ * groups). The SweepDriver shards such a matrix across a pool of
+ * std::jthread workers and returns results in deterministic submission
+ * order regardless of completion order; a shared ProgramCache compiles
+ * each distinct (workload, scheduling-config) cell exactly once.
+ *
+ * Worker count: explicit constructor argument, else the TM_JOBS
+ * environment variable, else std::thread::hardware_concurrency().
+ *
+ * A job failure (verification mismatch, non-halting program, compile
+ * error) is reported as JobResult{ok=false, error} for that job only;
+ * the rest of the sweep is unaffected.
+ */
+
+#ifndef TM3270_DRIVER_SWEEP_HH
+#define TM3270_DRIVER_SWEEP_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/program_cache.hh"
+#include "workloads/workload.hh"
+
+namespace tm3270::driver
+{
+
+/** One cell of a sweep: a workload on a machine configuration. */
+struct SimJob
+{
+    workloads::Workload workload;
+    /** Paper configuration letter ('A'..'D'; '-' for a custom tweak). */
+    char configLetter = 'D';
+    MachineConfig config;
+    /** Display label; makeJob() defaults it to "workload/letter". */
+    std::string tag;
+};
+
+/** Job for @p w on the standard configuration @p letter ('A'..'D'). */
+SimJob makeJob(workloads::Workload w, char letter);
+
+/** Job for @p w on an explicit (possibly tweaked) configuration. */
+SimJob makeJob(workloads::Workload w, char letter, MachineConfig cfg,
+               std::string tag = "");
+
+/** Outcome of one sweep job (structured: no fatal() across threads). */
+struct JobResult
+{
+    std::string tag;
+    bool ok = false;
+    std::string error;      ///< empty iff ok
+    RunResult run;          ///< valid iff the program ran (may be !ok)
+    /** Every touched counter of every stat group, "group.counter". */
+    std::map<std::string, uint64_t> stats;
+    /** Textual dump of all stat groups (cpu, lsu, dcache, icache,
+     *  biu, mem) — the determinism-test golden. */
+    std::string statDump;
+    double wallMs = 0.0;    ///< host wall-clock of this job
+};
+
+/** Whole-sweep results plus host-throughput accounting. */
+struct SweepReport
+{
+    std::vector<JobResult> results; ///< submission order
+    unsigned workers = 1;
+    double wallMs = 0.0;       ///< wall-clock of the whole sweep
+    double jobWallMsSum = 0.0; ///< sum of per-job wall times (~serial)
+    uint64_t cacheHits = 0;    ///< ProgramCache hits during this sweep
+    uint64_t cacheMisses = 0;  ///< distinct cells compiled
+    uint64_t simInstrs = 0;    ///< simulated VLIW instructions, summed
+    uint64_t simCycles = 0;    ///< simulated cycles, summed
+    size_t failed = 0;         ///< jobs with ok == false
+
+    /** Pool speedup estimate: serial-equivalent time / sweep time. */
+    double
+    speedup() const
+    {
+        return wallMs > 0.0 ? jobWallMsSum / wallMs : 0.0;
+    }
+
+    /** Host throughput: simulated VLIW instructions per wall second. */
+    double
+    instrsPerSecond() const
+    {
+        return wallMs > 0.0 ? double(simInstrs) / (wallMs / 1e3) : 0.0;
+    }
+};
+
+/**
+ * Resolve a worker count: @p requested if non-zero, else TM_JOBS
+ * (positive integer), else hardware_concurrency(), never less than 1.
+ */
+unsigned resolveWorkerCount(unsigned requested);
+
+/** Thread-pooled sweep executor with a per-driver ProgramCache. */
+class SweepDriver
+{
+  public:
+    /** @p workers == 0: use TM_JOBS / hardware_concurrency. */
+    explicit SweepDriver(unsigned workers = 0)
+        : nWorkers(resolveWorkerCount(workers))
+    {}
+
+    /**
+     * Run every job and return results in submission order. Blocks
+     * until the whole sweep has finished. Reusable: a second run()
+     * shares the driver's ProgramCache with the first.
+     */
+    SweepReport run(const std::vector<SimJob> &jobs);
+
+    unsigned workers() const { return nWorkers; }
+    ProgramCache &cache() { return cache_; }
+
+  private:
+    unsigned nWorkers;
+    ProgramCache cache_;
+};
+
+/**
+ * Write @p rep as JSON (BENCH_simrate.json-style gate evidence) to
+ * @p path: a context block, per-sweep aggregates (wall clock, pool
+ * speedup, cache hits, instrs/s) and one record per job.
+ */
+void writeSweepReport(const SweepReport &rep, const std::string &sweepName,
+                      const std::string &path);
+
+} // namespace tm3270::driver
+
+#endif // TM3270_DRIVER_SWEEP_HH

@@ -5,21 +5,37 @@
 namespace tm3270::workloads
 {
 
+RunOutcome
+runWorkloadOn(System &sys, const Workload &w, const EncodedProgram &prog)
+{
+    RunOutcome o;
+    w.init(sys);
+    o.run = sys.runProgram(prog);
+    if (!o.run.halted) {
+        o.error = strfmt("workload %s did not halt", w.name.c_str());
+        return o;
+    }
+    std::string err;
+    if (!w.verify(sys, err)) {
+        o.error = strfmt("workload %s failed verification: %s",
+                         w.name.c_str(), err.c_str());
+        return o;
+    }
+    o.ok = true;
+    return o;
+}
+
 RunResult
 runWorkload(const Workload &w, const MachineConfig &cfg,
             bool use_prefetch_regions)
 {
     System sys(cfg);
-    w.init(sys);
     (void)use_prefetch_regions; // kernels program regions via MMIO
     tir::CompiledProgram cp = tir::compile(w.build(), cfg);
-    RunResult r = sys.runProgram(cp.encoded);
-    tm_assert(r.halted, "workload %s did not halt", w.name.c_str());
-    std::string err;
-    if (!w.verify(sys, err))
-        fatal("workload %s failed verification: %s", w.name.c_str(),
-              err.c_str());
-    return r;
+    RunOutcome o = runWorkloadOn(sys, w, cp.encoded);
+    if (!o.ok)
+        fatal("%s", o.error.c_str());
+    return o.run;
 }
 
 std::vector<Workload>

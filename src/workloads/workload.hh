@@ -34,6 +34,27 @@ struct Workload
     std::function<bool(System &, std::string &)> verify;
 };
 
+/**
+ * Structured outcome of one workload run: verification failures and
+ * non-halting programs are reported, not thrown, so sweep worker
+ * threads can keep going when one job goes bad.
+ */
+struct RunOutcome
+{
+    bool ok = false;
+    std::string error; ///< empty iff ok
+    RunResult run;     ///< valid whenever the program executed
+};
+
+/**
+ * Run an already-compiled @p prog of workload @p w on @p sys (staging
+ * inputs, running, verifying against the host reference). Never calls
+ * fatal(): the result is structured. The caller owns @p sys and can
+ * harvest stats from it afterwards.
+ */
+RunOutcome runWorkloadOn(System &sys, const Workload &w,
+                         const EncodedProgram &prog);
+
 /** Run @p w on a machine configuration; fatal on verify failure. */
 RunResult runWorkload(const Workload &w, const MachineConfig &cfg,
                       bool use_prefetch_regions = false);

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Sweep-driver tests: a parallel sweep must be bit-identical to the
+ * same jobs run serially (RunResults and full stat dumps), the
+ * ProgramCache must compile each distinct (workload, sched-config)
+ * cell exactly once, and one failing job must not abort a sweep.
+ * These are the tests to run under TM_SANITIZE=thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "driver/sweep.hh"
+
+using namespace tm3270;
+using namespace tm3270::driver;
+using namespace tm3270::workloads;
+
+namespace
+{
+
+/** Three representative Table 5 workloads x configs A-D. */
+std::vector<SimJob>
+smallMatrix()
+{
+    std::vector<SimJob> jobs;
+    for (Workload w :
+         {memcpyWorkload(), filterWorkload(), rgb2yuvWorkload()}) {
+        for (char c : {'A', 'B', 'C', 'D'})
+            jobs.push_back(makeJob(w, c));
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(ProgramCache, CompilesOncePerDistinctCell)
+{
+    ProgramCache cache;
+    Workload w = memcpyWorkload();
+
+    auto a = cache.get(w, configByLetter('A'));
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    // Same cell again: shared by reference, no recompile.
+    auto a2 = cache.get(w, configByLetter('A'));
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(a.get(), a2.get());
+
+    // B, C and D share every scheduling-relevant field (they differ
+    // in frequency and cache geometry only), so they are one cell.
+    auto b = cache.get(w, configByLetter('B'));
+    EXPECT_EQ(cache.misses(), 2u);
+    auto c = cache.get(w, configByLetter('C'));
+    auto d = cache.get(w, configByLetter('D'));
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 3u);
+    EXPECT_EQ(b.get(), c.get());
+    EXPECT_EQ(b.get(), d.get());
+    EXPECT_NE(a.get(), b.get());
+
+    // A different workload is a different cell.
+    cache.get(memsetWorkload(), configByLetter('A'));
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(ProgramCache, KeySeparatesSchedRelevantFields)
+{
+    MachineConfig d = tm3270Config();
+    MachineConfig a = tm3260Config();
+    EXPECT_NE(programCacheKey("w", d), programCacheKey("w", a));
+    EXPECT_EQ(programCacheKey("w", configByLetter('B')),
+              programCacheKey("w", configByLetter('C')));
+
+    // Cache geometry and frequency must NOT split cells...
+    MachineConfig small = d;
+    small.dcache.sizeBytes = 16 * 1024;
+    small.freqMHz = 240;
+    EXPECT_EQ(programCacheKey("w", d), programCacheKey("w", small));
+
+    // ...but every field the scheduler observes must.
+    MachineConfig lat = d;
+    lat.loadLatency = 3;
+    EXPECT_NE(programCacheKey("w", d), programCacheKey("w", lat));
+    MachineConfig jd = d;
+    jd.jumpDelaySlots = 3;
+    EXPECT_NE(programCacheKey("w", d), programCacheKey("w", jd));
+    MachineConfig loads = d;
+    loads.maxLoadsPerInst = 2;
+    loads.loadSlotMask = slotBit(4) | slotBit(5);
+    EXPECT_NE(programCacheKey("w", d), programCacheKey("w", loads));
+}
+
+TEST(SweepDriver, ParallelIsBitIdenticalToSerial)
+{
+    std::vector<SimJob> jobs = smallMatrix();
+
+    SweepDriver serial(1);
+    SweepReport s = serial.run(jobs);
+
+    // More workers than host cores is fine: jobs interleave, results
+    // must not change.
+    SweepDriver parallel(4);
+    SweepReport p = parallel.run(jobs);
+
+    ASSERT_EQ(s.results.size(), jobs.size());
+    ASSERT_EQ(p.results.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const JobResult &a = s.results[i];
+        const JobResult &b = p.results[i];
+        SCOPED_TRACE(jobs[i].tag);
+        EXPECT_TRUE(a.ok) << a.error;
+        EXPECT_TRUE(b.ok) << b.error;
+        EXPECT_EQ(a.tag, jobs[i].tag);
+        EXPECT_EQ(b.tag, jobs[i].tag);
+        EXPECT_EQ(a.run.cycles, b.run.cycles);
+        EXPECT_EQ(a.run.instrs, b.run.instrs);
+        EXPECT_EQ(a.run.ops, b.run.ops);
+        EXPECT_EQ(a.run.stallCycles, b.run.stallCycles);
+        EXPECT_EQ(a.run.exitValue, b.run.exitValue);
+        EXPECT_EQ(a.stats, b.stats);
+        EXPECT_EQ(a.statDump, b.statDump);
+        EXPECT_FALSE(a.statDump.empty());
+    }
+    EXPECT_EQ(s.simInstrs, p.simInstrs);
+    EXPECT_EQ(s.simCycles, p.simCycles);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(p.failed, 0u);
+    // 3 workloads x 2 distinct sched-configs (A and B/C/D).
+    EXPECT_EQ(s.cacheMisses, 6u);
+    EXPECT_EQ(s.cacheHits, 6u);
+    EXPECT_EQ(p.cacheMisses, 6u);
+    EXPECT_EQ(p.cacheHits, 6u);
+}
+
+TEST(SweepDriver, FailedJobDoesNotAbortSweep)
+{
+    Workload bad = memsetWorkload();
+    bad.name = "memset_badverify"; // distinct cache cell
+    bad.verify = [](System &, std::string &err) {
+        err = "forced failure";
+        return false;
+    };
+
+    std::vector<SimJob> jobs;
+    jobs.push_back(makeJob(memcpyWorkload(), 'D'));
+    jobs.push_back(makeJob(bad, 'D'));
+    jobs.push_back(makeJob(filterWorkload(), 'D'));
+
+    SweepReport rep = SweepDriver(2).run(jobs);
+    ASSERT_EQ(rep.results.size(), 3u);
+    EXPECT_TRUE(rep.results[0].ok) << rep.results[0].error;
+    EXPECT_FALSE(rep.results[1].ok);
+    EXPECT_NE(rep.results[1].error.find("forced failure"),
+              std::string::npos)
+        << rep.results[1].error;
+    // The failing job still ran to completion and reports its work.
+    EXPECT_TRUE(rep.results[1].run.halted);
+    EXPECT_GT(rep.results[1].run.cycles, 0u);
+    EXPECT_TRUE(rep.results[2].ok) << rep.results[2].error;
+    EXPECT_EQ(rep.failed, 1u);
+}
+
+TEST(SweepDriver, ReportAggregatesAndOrdering)
+{
+    std::vector<SimJob> jobs = smallMatrix();
+    SweepDriver drv(3);
+    SweepReport rep = drv.run(jobs);
+
+    uint64_t instrs = 0;
+    double wall_sum = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(rep.results[i].tag, jobs[i].tag); // submission order
+        EXPECT_GT(rep.results[i].wallMs, 0.0);
+        instrs += rep.results[i].run.instrs;
+        wall_sum += rep.results[i].wallMs;
+    }
+    EXPECT_EQ(rep.simInstrs, instrs);
+    EXPECT_GT(rep.wallMs, 0.0);
+    EXPECT_DOUBLE_EQ(rep.jobWallMsSum, wall_sum);
+    EXPECT_GT(rep.instrsPerSecond(), 0.0);
+
+    // A second run() through the same driver hits the cache for every
+    // cell: nothing is recompiled.
+    SweepReport rep2 = drv.run(jobs);
+    EXPECT_EQ(rep2.cacheMisses, 0u);
+    EXPECT_EQ(rep2.cacheHits, jobs.size());
+}
+
+TEST(SweepDriver, WorkerCountResolution)
+{
+    EXPECT_EQ(resolveWorkerCount(7), 7u);
+
+    setenv("TM_JOBS", "5", 1);
+    EXPECT_EQ(resolveWorkerCount(0), 5u);
+    EXPECT_EQ(SweepDriver().workers(), 5u);
+    EXPECT_EQ(SweepDriver(2).workers(), 2u); // explicit beats env
+
+    unsetenv("TM_JOBS");
+    unsigned hw = std::thread::hardware_concurrency();
+    EXPECT_EQ(resolveWorkerCount(0), hw > 0 ? hw : 1u);
+}

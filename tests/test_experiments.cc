@@ -5,11 +5,17 @@
  * estimation (ref [12]), the texture pipeline (ref [13]) and temporal
  * up-conversion (ref [14]). Each optimized variant must produce
  * bit-identical results to its baseline and run faster.
+ *
+ * Every simulated run is submitted through a shared SweepDriver: the
+ * experiment variants are ad-hoc sweep workloads, the ProgramCache
+ * deduplicates recompiles of repeated variants across tests, and a
+ * verification failure surfaces as a structured JobResult error.
  */
 
 #include <gtest/gtest.h>
 
-#include "tir/scheduler.hh"
+#include "driver/sweep.hh"
+#include "support/logging.hh"
 #include "workloads/cabac_prog.hh"
 #include "workloads/motion_est.hh"
 #include "workloads/texture.hh"
@@ -21,19 +27,41 @@ using namespace tm3270::workloads;
 namespace
 {
 
+/** One driver (and ProgramCache) for the whole test binary. */
+driver::SweepDriver &
+sharedDriver()
+{
+    static driver::SweepDriver drv;
+    return drv;
+}
+
+/** Submit one ad-hoc workload on the TM3270 and expect success. */
+RunResult
+submitOne(Workload w)
+{
+    driver::SweepReport rep =
+        sharedDriver().run({driver::makeJob(std::move(w), 'D')});
+    const driver::JobResult &jr = rep.results.at(0);
+    EXPECT_TRUE(jr.ok) << jr.error;
+    return jr.run;
+}
+
 RunResult
 runCabac(const SyntheticField &field, bool optimized)
 {
-    System sys(tm3270Config());
-    stageCabacField(sys, field);
-    auto cp = tir::compile(
-        buildCabacDecode(unsigned(field.bins.size()), optimized),
-        tm3270Config());
-    RunResult r = sys.runProgram(cp.encoded);
-    EXPECT_TRUE(r.halted);
-    std::string err;
-    EXPECT_TRUE(verifyCabacBits(sys, field, err)) << err;
-    return r;
+    Workload w;
+    // bins.size() is part of the program, so it is part of the name
+    // (the ProgramCache key must separate differently-sized decodes).
+    w.name = strfmt("cabac%zu_%s", field.bins.size(),
+                    optimized ? "super" : "plain");
+    w.build = [n = unsigned(field.bins.size()), optimized] {
+        return buildCabacDecode(n, optimized);
+    };
+    w.init = [&field](System &sys) { stageCabacField(sys, field); };
+    w.verify = [&field](System &sys, std::string &err) {
+        return verifyCabacBits(sys, field, err);
+    };
+    return submitOne(std::move(w));
 }
 
 } // namespace
@@ -87,14 +115,15 @@ namespace
 RunResult
 runMe(const MeFlags &flags)
 {
-    System sys(tm3270Config());
-    stageMotionEstimation(sys, 99);
-    auto cp = tir::compile(buildMotionEstimation(flags), tm3270Config());
-    RunResult r = sys.runProgram(cp.encoded);
-    EXPECT_TRUE(r.halted);
-    std::string err;
-    EXPECT_TRUE(verifyMotionEstimation(sys, 99, err)) << err;
-    return r;
+    Workload w;
+    w.name = strfmt("me_%d%d%d", int(flags.unaligned),
+                    int(flags.fracLoad), int(flags.prefetch));
+    w.build = [flags] { return buildMotionEstimation(flags); };
+    w.init = [](System &sys) { stageMotionEstimation(sys, 99); };
+    w.verify = [](System &sys, std::string &err) {
+        return verifyMotionEstimation(sys, 99, err);
+    };
+    return submitOne(std::move(w));
 }
 
 } // namespace
@@ -124,28 +153,28 @@ namespace
 RunResult
 runTexture(bool two_slot)
 {
-    System sys(tm3270Config());
-    stageTexture(sys, 17);
-    auto cp = tir::compile(buildTexturePipeline(two_slot),
-                           tm3270Config());
-    RunResult r = sys.runProgram(cp.encoded);
-    EXPECT_TRUE(r.halted);
-    std::string err;
-    EXPECT_TRUE(verifyTexture(sys, 17, err)) << err;
-    return r;
+    Workload w;
+    w.name = strfmt("texture_%s", two_slot ? "two_slot" : "scalar");
+    w.build = [two_slot] { return buildTexturePipeline(two_slot); };
+    w.init = [](System &sys) { stageTexture(sys, 17); };
+    w.verify = [](System &sys, std::string &err) {
+        return verifyTexture(sys, 17, err);
+    };
+    return submitOne(std::move(w));
 }
 
 RunResult
 runUpconv(const UpconvFlags &flags)
 {
-    System sys(tm3270Config());
-    stageUpconversion(sys, 23);
-    auto cp = tir::compile(buildUpconversion(flags), tm3270Config());
-    RunResult r = sys.runProgram(cp.encoded);
-    EXPECT_TRUE(r.halted);
-    std::string err;
-    EXPECT_TRUE(verifyUpconversion(sys, 23, err)) << err;
-    return r;
+    Workload w;
+    w.name = strfmt("upconv_%d%d", int(flags.newOps),
+                    int(flags.prefetch));
+    w.build = [flags] { return buildUpconversion(flags); };
+    w.init = [](System &sys) { stageUpconversion(sys, 23); };
+    w.verify = [](System &sys, std::string &err) {
+        return verifyUpconversion(sys, 23, err);
+    };
+    return submitOne(std::move(w));
 }
 
 } // namespace

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full verification ladder: tier-1 tests, ASan/UBSan, and the TSan
+# sweep-driver subset, in one command:
+#
+#     scripts/verify.sh [-j N]
+#
+# Build trees:
+#   build/       RelWithDebInfo, full tier-1 ctest suite
+#   build-asan/  -DTM_SANITIZE=address,undefined, full suite
+#   build-tsan/  -DTM_SANITIZE=thread, -R 'Sweep|ProgramCache'
+#                (the threaded code: sweep pool + compile-once cache)
+#
+# Exits non-zero on the first failing stage. Incremental: existing
+# build trees are reused, so re-runs only pay for what changed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+while getopts "j:" opt; do
+    case "$opt" in
+      j) jobs="$OPTARG" ;;
+      *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    esac
+done
+
+stage() { printf '\n=== %s ===\n' "$*"; }
+
+stage "tier-1 (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+stage "ASan/UBSan (build-asan/)"
+cmake -B build-asan -S . -DTM_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+stage "TSan sweep subset (build-tsan/)"
+cmake -B build-tsan -S . -DTM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs"
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'Sweep|ProgramCache'
+
+stage "all green"

@@ -1,6 +1,8 @@
 #include "cache/cache.hh"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "support/bitops.hh"
 #include "support/logging.hh"
@@ -19,87 +21,16 @@ Cache::Cache(CacheGeometry g)
     setShift = log2i(geom.lineBytes);
     lines.resize(size_t(numSets) * geom.assoc);
     if (geom.hasData) {
-        for (auto &l : lines) {
-            l.data.resize(geom.lineBytes);
-            l.vmask.resize(geom.lineBytes, false);
-        }
+        maskWords = (geom.lineBytes + 63) / 64;
+        unsigned rem = geom.lineBytes % 64;
+        tailMask = rem ? (uint64_t(1) << rem) - 1 : ~uint64_t(0);
+        dataArena.resize(lines.size() * geom.lineBytes);
+        maskArena.resize(lines.size() * maskWords, 0);
     }
 }
 
-unsigned
-Cache::setOf(Addr line_addr) const
-{
-    return (line_addr >> setShift) & (numSets - 1);
-}
-
-Cache::Line &
-Cache::lineAt(Addr line_addr, int way)
-{
-    return lines[size_t(setOf(line_addr)) * geom.assoc + unsigned(way)];
-}
-
-const Cache::Line &
-Cache::lineAt(Addr line_addr, int way) const
-{
-    return lines[size_t(setOf(line_addr)) * geom.assoc + unsigned(way)];
-}
-
-int
-Cache::probe(Addr line_addr) const
-{
-    unsigned set = setOf(line_addr);
-    for (unsigned w = 0; w < geom.assoc; ++w) {
-        const Line &l = lines[size_t(set) * geom.assoc + w];
-        if (l.valid && l.lineAddr == line_addr)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
 void
-Cache::touch(Addr line_addr, int way)
-{
-    lineAt(line_addr, way).lastUse = ++useTick;
-}
-
-bool
-Cache::bytesValid(Addr line_addr, int way, unsigned offset,
-                  unsigned len) const
-{
-    const Line &l = lineAt(line_addr, way);
-    if (!geom.hasData)
-        return true;
-    for (unsigned i = 0; i < len; ++i) {
-        if (!l.vmask[offset + i])
-            return false;
-    }
-    return true;
-}
-
-void
-Cache::readBytes(Addr line_addr, int way, unsigned offset, unsigned len,
-                 uint8_t *out) const
-{
-    const Line &l = lineAt(line_addr, way);
-    tm_assert(geom.hasData, "readBytes on tag-only cache");
-    tm_assert(offset + len <= geom.lineBytes, "line read overflow");
-    std::copy_n(l.data.begin() + offset, len, out);
-}
-
-void
-Cache::writeBytes(Addr line_addr, int way, unsigned offset, unsigned len,
-                  const uint8_t *data)
-{
-    Line &l = lineAt(line_addr, way);
-    tm_assert(geom.hasData, "writeBytes on tag-only cache");
-    tm_assert(offset + len <= geom.lineBytes, "line write overflow");
-    std::copy_n(data, len, l.data.begin() + offset);
-    std::fill_n(l.vmask.begin() + offset, len, true);
-    l.dirty = true;
-}
-
-Victim
-Cache::allocate(Addr line_addr, int &way_out)
+Cache::allocate(Addr line_addr, int &way_out, Victim &v)
 {
     tm_assert(probe(line_addr) < 0, "allocating a resident line");
     unsigned set = setOf(line_addr);
@@ -120,17 +51,24 @@ Cache::allocate(Addr line_addr, int &way_out)
         }
     }
 
-    Line &l = lines[size_t(set) * geom.assoc + unsigned(victim_way)];
-    Victim v;
+    size_t idx = size_t(set) * geom.assoc + unsigned(victim_way);
+    Line &l = lines[idx];
+    v.valid = l.valid;
+    v.dirty = false;
+    v.lineAddr = 0;
+    v.validBytes = 0;
     if (l.valid) {
-        v.valid = true;
         v.dirty = l.dirty;
         v.lineAddr = l.lineAddr;
         if (geom.hasData && l.dirty) {
-            v.data = l.data;
-            v.vmask = l.vmask;
-            v.validBytes = static_cast<unsigned>(
-                std::count(l.vmask.begin(), l.vmask.end(), true));
+            // Only a dirty victim needs its image for the copy-back;
+            // clean evictions copy nothing.
+            v.data.resize(geom.lineBytes);
+            v.vmask.resize(maskWords);
+            std::memcpy(v.data.data(), lineData(idx), geom.lineBytes);
+            std::memcpy(v.vmask.data(), lineMask(idx),
+                        size_t(maskWords) * sizeof(uint64_t));
+            v.validBytes = l.validBytes;
         }
         hEvictions.inc();
         if (l.dirty)
@@ -141,25 +79,46 @@ Cache::allocate(Addr line_addr, int &way_out)
     l.dirty = false;
     l.lineAddr = line_addr;
     l.lastUse = ++useTick;
-    if (geom.hasData)
-        std::fill(l.vmask.begin(), l.vmask.end(), false);
+    l.validBytes = 0;
+    if (geom.hasData) {
+        std::memset(lineMask(idx), 0,
+                    size_t(maskWords) * sizeof(uint64_t));
+    }
     hAllocations.inc();
     way_out = victim_way;
-    return v;
 }
 
 void
 Cache::fillFromMemory(const MainMemory &mem, Addr line_addr, int way)
 {
-    Line &l = lineAt(line_addr, way);
     tm_assert(geom.hasData, "fillFromMemory on tag-only cache");
-    std::vector<uint8_t> buf(geom.lineBytes);
-    mem.read(line_addr, buf.data(), geom.lineBytes);
-    for (unsigned i = 0; i < geom.lineBytes; ++i) {
-        if (!l.vmask[i]) {
-            l.data[i] = buf[i];
-            l.vmask[i] = true;
+    size_t idx = lineIndex(line_addr, way);
+    Line &l = lines[idx];
+    if (l.validBytes != geom.lineBytes) {
+        uint8_t *d = lineData(idx);
+        uint64_t *vm = lineMask(idx);
+        for (unsigned w = 0; w < maskWords; ++w) {
+            uint64_t full = fullWord(w);
+            uint64_t have = vm[w];
+            if ((have & full) == full)
+                continue;
+            unsigned base = w * 64;
+            unsigned n = std::min(64u, geom.lineBytes - base);
+            if (have == 0) {
+                mem.read(line_addr + base, d + base, n);
+            } else {
+                uint8_t buf[64];
+                mem.read(line_addr + base, buf, n);
+                uint64_t missing = full & ~have;
+                while (missing) {
+                    unsigned i = unsigned(std::countr_zero(missing));
+                    d[base + i] = buf[i];
+                    missing &= missing - 1;
+                }
+            }
+            vm[w] = full;
         }
+        l.validBytes = geom.lineBytes;
     }
     hRefills.inc();
 }
@@ -167,26 +126,23 @@ Cache::fillFromMemory(const MainMemory &mem, Addr line_addr, int way)
 void
 Cache::markAllValid(Addr line_addr, int way)
 {
-    Line &l = lineAt(line_addr, way);
-    if (geom.hasData)
-        std::fill(l.vmask.begin(), l.vmask.end(), true);
-}
-
-bool
-Cache::isDirty(Addr line_addr, int way) const
-{
-    return lineAt(line_addr, way).dirty;
+    if (!geom.hasData)
+        return;
+    size_t idx = lineIndex(line_addr, way);
+    uint64_t *vm = lineMask(idx);
+    for (unsigned w = 0; w < maskWords; ++w)
+        vm[w] = fullWord(w);
+    lines[idx].validBytes = geom.lineBytes;
 }
 
 void
 Cache::flush(MainMemory &mem)
 {
-    for (auto &l : lines) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+        Line &l = lines[i];
         if (l.valid && l.dirty && geom.hasData) {
-            for (unsigned i = 0; i < geom.lineBytes; ++i) {
-                if (l.vmask[i])
-                    mem.setByte(l.lineAddr + i, l.data[i]);
-            }
+            mem.writeMasked(l.lineAddr, lineData(i), geom.lineBytes,
+                            lineMask(i));
         }
         l.valid = false;
         l.dirty = false;

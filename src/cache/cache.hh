@@ -15,16 +15,28 @@
  *
  * The cache stores real data (it is the point of coherency while a
  * line is dirty); the instruction cache runs in tag-only mode.
+ *
+ * Host data layout (DESIGN.md §8): line data lives in one contiguous
+ * set-major arena indexed by set*assoc+way, and the byte-validity
+ * masks are packed 64-bits-per-word in a parallel arena, so validity
+ * queries, store merges, refills and copy-backs are word-wise mask
+ * operations over at most lineBytes/64 words instead of per-byte
+ * loops. A per-line valid-byte count makes the fully-valid common
+ * case O(1). None of this changes any architectural count.
  */
 
 #ifndef TM3270_CACHE_CACHE_HH
 #define TM3270_CACHE_CACHE_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "memory/main_memory.hh"
+#include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/types.hh"
 
@@ -43,15 +55,30 @@ struct CacheGeometry
     unsigned numSets() const { return sizeBytes / (assoc * lineBytes); }
 };
 
-/** Information about an evicted line, for the copy-back unit. */
+/**
+ * Information about an evicted line, for the copy-back unit.
+ *
+ * Designed for reuse: Cache::allocate() fills a caller-owned Victim
+ * in place, so the steady state allocates nothing. The data image and
+ * packed validity mask are only copied for *dirty* victims (a clean
+ * eviction needs no copy-back, so the buffers keep their stale
+ * previous contents and must not be read — check dirty first).
+ */
 struct Victim
 {
     bool valid = false;        ///< a line was evicted
     bool dirty = false;        ///< it needs a copy-back
     Addr lineAddr = 0;
-    unsigned validBytes = 0;   ///< number of validated bytes
-    std::vector<uint8_t> data;
-    std::vector<bool> vmask;
+    unsigned validBytes = 0;   ///< number of validated bytes (dirty only)
+    std::vector<uint8_t> data;   ///< line image (dirty victims only)
+    std::vector<uint64_t> vmask; ///< packed validity (bit i = byte i)
+
+    /** Validity of byte @p i of a dirty victim's line. */
+    bool
+    maskBit(unsigned i) const
+    {
+        return (vmask[i >> 6] >> (i & 63)) & 1;
+    }
 };
 
 /** Set-associative cache with byte validity and LRU replacement. */
@@ -63,39 +90,127 @@ class Cache
     const CacheGeometry &geometry() const { return geom; }
     unsigned lineBytes() const { return geom.lineBytes; }
 
+    /** 64-bit words per packed per-line validity mask (data mode). */
+    unsigned maskWordsPerLine() const { return maskWords; }
+
     /** Line-aligned address containing @p addr. */
     Addr lineAddrOf(Addr addr) const { return addr & ~(Addr(geom.lineBytes) - 1); }
 
     /**
      * Tag lookup. Returns the way holding @p line_addr or -1.
-     * Does not update LRU state.
+     * Does not update LRU state. Inline: this and the other per-access
+     * queries below sit on the per-instruction hot path of the LSU and
+     * front end, so they must fold into their callers.
      */
-    int probe(Addr line_addr) const;
+    int
+    probe(Addr line_addr) const
+    {
+        unsigned set = setOf(line_addr);
+        for (unsigned w = 0; w < geom.assoc; ++w) {
+            const Line &l = lines[size_t(set) * geom.assoc + w];
+            if (l.valid && l.lineAddr == line_addr)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
 
     /** Mark @p way of the set of @p line_addr as most recently used. */
-    void touch(Addr line_addr, int way);
+    void
+    touch(Addr line_addr, int way)
+    {
+        lines[lineIndex(line_addr, way)].lastUse = ++useTick;
+    }
 
     /** True when bytes [offset, offset+len) of the line are valid. */
-    bool bytesValid(Addr line_addr, int way, unsigned offset,
-                    unsigned len) const;
+    bool
+    bytesValid(Addr line_addr, int way, unsigned offset,
+               unsigned len) const
+    {
+        if (!geom.hasData)
+            return true;
+        size_t idx = lineIndex(line_addr, way);
+        const Line &l = lines[idx];
+        if (l.validBytes == geom.lineBytes)
+            return true; // fully valid line: the common case after refill
+        if (len == 0)
+            return true;
+        const uint64_t *vm = lineMask(idx);
+        unsigned w0 = offset >> 6;
+        unsigned w1 = (offset + len - 1) >> 6;
+        if (w0 == w1) {
+            uint64_t need = rangeMask(offset & 63, len);
+            return (vm[w0] & need) == need;
+        }
+        uint64_t first = rangeMask(offset & 63, 64 - (offset & 63));
+        if ((vm[w0] & first) != first)
+            return false;
+        for (unsigned w = w0 + 1; w < w1; ++w) {
+            if (~vm[w])
+                return false;
+        }
+        unsigned lastLen = ((offset + len - 1) & 63) + 1;
+        uint64_t last = rangeMask(0, lastLen);
+        return (vm[w1] & last) == last;
+    }
 
     /** Read bytes from a resident line (data mode only). */
-    void readBytes(Addr line_addr, int way, unsigned offset, unsigned len,
-                   uint8_t *out) const;
+    void
+    readBytes(Addr line_addr, int way, unsigned offset, unsigned len,
+              uint8_t *out) const
+    {
+        tm_assert(geom.hasData, "readBytes on tag-only cache");
+        tm_assert(offset + len <= geom.lineBytes, "line read overflow");
+        std::memcpy(out, lineData(lineIndex(line_addr, way)) + offset,
+                    len);
+    }
 
     /**
      * Write bytes into a resident line; marks them valid and the line
      * dirty (copy-back policy).
      */
-    void writeBytes(Addr line_addr, int way, unsigned offset, unsigned len,
-                    const uint8_t *data);
+    void
+    writeBytes(Addr line_addr, int way, unsigned offset, unsigned len,
+               const uint8_t *data)
+    {
+        tm_assert(geom.hasData, "writeBytes on tag-only cache");
+        tm_assert(offset + len <= geom.lineBytes, "line write overflow");
+        size_t idx = lineIndex(line_addr, way);
+        Line &l = lines[idx];
+        std::memcpy(lineData(idx) + offset, data, len);
+        if (len > 0 && l.validBytes != geom.lineBytes) {
+            uint64_t *vm = lineMask(idx);
+            unsigned added = 0;
+            unsigned w = offset >> 6;
+            unsigned bit = offset & 63;
+            for (unsigned left = len; left > 0; ++w, bit = 0) {
+                unsigned n = std::min(left, 64 - bit);
+                uint64_t m = rangeMask(bit, n);
+                added += unsigned(std::popcount(m & ~vm[w]));
+                vm[w] |= m;
+                left -= n;
+            }
+            l.validBytes += added;
+        }
+        l.dirty = true;
+    }
 
     /**
      * Allocate a line for @p line_addr (all bytes invalid), evicting
-     * the LRU way if necessary. Returns the victim (for copy-back)
-     * and the allocated way through @p way_out.
+     * the LRU way if necessary. Fills the caller-owned @p victim in
+     * place (for copy-back; reuse one buffer across calls to stay
+     * allocation-free) and returns the allocated way through
+     * @p way_out. Clean victims copy no data at all.
      */
-    Victim allocate(Addr line_addr, int &way_out);
+    void allocate(Addr line_addr, int &way_out, Victim &victim);
+
+    /** Convenience wrapper returning a fresh Victim (cold paths). */
+    Victim
+    allocate(Addr line_addr, int &way_out)
+    {
+        Victim v;
+        allocate(line_addr, way_out, v);
+        return v;
+    }
 
     /**
      * Refill-merge: copy the memory image of the line into all bytes
@@ -107,7 +222,11 @@ class Cache
     void markAllValid(Addr line_addr, int way);
 
     /** Line dirty? */
-    bool isDirty(Addr line_addr, int way) const;
+    bool
+    isDirty(Addr line_addr, int way) const
+    {
+        return lines[lineIndex(line_addr, way)].dirty;
+    }
 
     /**
      * Write every dirty line's valid bytes back to memory and
@@ -122,20 +241,24 @@ class Cache
     StatGroup stats;
 
   private:
+    /** Per-line metadata; data and validity live in the arenas. */
     struct Line
     {
         bool valid = false;
         bool dirty = false;
         Addr lineAddr = 0;
         uint64_t lastUse = 0;
-        std::vector<uint8_t> data;
-        std::vector<bool> vmask;
+        uint32_t validBytes = 0; ///< popcount of the line's mask words
     };
 
     CacheGeometry geom;
     unsigned setShift;
     unsigned numSets;
-    std::vector<Line> lines; ///< set-major: lines[set * assoc + way]
+    unsigned maskWords = 0; ///< 64-bit mask words per line (data mode)
+    uint64_t tailMask = 0;  ///< valid bits of the last mask word
+    std::vector<Line> lines;          ///< set-major: [set * assoc + way]
+    std::vector<uint8_t> dataArena;   ///< numLines * lineBytes, set-major
+    std::vector<uint64_t> maskArena;  ///< numLines * maskWords, set-major
     uint64_t useTick = 0;
 
     // Interned counters for the per-access hot path.
@@ -144,9 +267,41 @@ class Cache
     StatHandle hAllocations = stats.handle("allocations");
     StatHandle hRefills = stats.handle("refills");
 
-    unsigned setOf(Addr line_addr) const;
-    Line &lineAt(Addr line_addr, int way);
-    const Line &lineAt(Addr line_addr, int way) const;
+    /** Bit mask covering bits [offset, offset+len) of one 64-bit word
+     *  (offset < 64, len <= 64 - offset). */
+    static uint64_t
+    rangeMask(unsigned offset, unsigned len)
+    {
+        uint64_t m = len >= 64 ? ~uint64_t(0) : (uint64_t(1) << len) - 1;
+        return m << offset;
+    }
+
+    unsigned
+    setOf(Addr line_addr) const
+    {
+        return (line_addr >> setShift) & (numSets - 1);
+    }
+    size_t
+    lineIndex(Addr line_addr, int way) const
+    {
+        return size_t(setOf(line_addr)) * geom.assoc + unsigned(way);
+    }
+    uint8_t *lineData(size_t idx) { return &dataArena[idx * geom.lineBytes]; }
+    const uint8_t *lineData(size_t idx) const
+    {
+        return &dataArena[idx * geom.lineBytes];
+    }
+    uint64_t *lineMask(size_t idx) { return &maskArena[idx * maskWords]; }
+    const uint64_t *lineMask(size_t idx) const
+    {
+        return &maskArena[idx * maskWords];
+    }
+    /** All-valid image of mask word @p w (tailMask on the last word). */
+    uint64_t
+    fullWord(unsigned w) const
+    {
+        return w + 1 == maskWords ? tailMask : ~uint64_t(0);
+    }
 };
 
 } // namespace tm3270

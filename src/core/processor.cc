@@ -236,8 +236,8 @@ Processor::fetchTiming(Addr addr, uint32_t size)
                                       icache_.lineBytes(),
                                       cycle + stall);
         stall += done - (cycle + stall);
-        Victim v = icache_.allocate(line, way);
-        (void)v; // instruction cache lines are never dirty
+        icache_.allocate(line, way, icacheVictim);
+        // Instruction cache lines are never dirty: nothing to write back.
         icache_.markAllValid(line, way);
     }
     if (stall)

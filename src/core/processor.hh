@@ -126,6 +126,8 @@ class Processor
     Biu biu_;
     Lsu lsu_;
     Cache icache_;
+    /** Reusable icache eviction buffer (tag-only lines: no copy). */
+    Victim icacheVictim;
     SocMmio mmio_;
 
     const EncodedProgram *prog = nullptr;

@@ -86,32 +86,11 @@ packBigEndian(const uint8_t *b)
     return packBytes4(b[0], b[1], b[2], b[3]);
 }
 
-unsigned
-memAccessSize(Opcode opc)
+void
+badMemAccessSize(Opcode opc)
 {
-    switch (opc) {
-      case Opcode::LD8S:
-      case Opcode::LD8U:
-      case Opcode::ST8D:
-        return 1;
-      case Opcode::LD16S:
-      case Opcode::LD16U:
-      case Opcode::ST16D:
-        return 2;
-      case Opcode::LD32D:
-      case Opcode::LD32R:
-      case Opcode::LD32X:
-      case Opcode::ST32D:
-      case Opcode::ST32R:
-        return 4;
-      case Opcode::LD_FRAC8:
-        return 5;
-      case Opcode::SUPER_LD32R:
-        return 8;
-      default:
-        panic("memAccessSize on non-memory opcode %s",
-              std::string(opName(opc)).c_str());
-    }
+    panic("memAccessSize on non-memory opcode %s",
+          std::string(opName(opc)).c_str());
 }
 
 ExecResult

@@ -44,8 +44,37 @@ Word interpolateFrac8(const std::array<uint8_t, 5> &data, Word frac);
 /** Assemble a big-endian 32-bit word from 4 bytes (SUPER_LD32R). */
 Word packBigEndian(const uint8_t *bytes);
 
-/** Memory access size in bytes for a load/store opcode. */
-unsigned memAccessSize(Opcode opc);
+/** Out-of-line failure path of memAccessSize. */
+[[noreturn]] void badMemAccessSize(Opcode opc);
+
+/** Memory access size in bytes for a load/store opcode. Inline: the
+ *  LSU consults it on every load and store. */
+inline unsigned
+memAccessSize(Opcode opc)
+{
+    switch (opc) {
+      case Opcode::LD8S:
+      case Opcode::LD8U:
+      case Opcode::ST8D:
+        return 1;
+      case Opcode::LD16S:
+      case Opcode::LD16U:
+      case Opcode::ST16D:
+        return 2;
+      case Opcode::LD32D:
+      case Opcode::LD32R:
+      case Opcode::LD32X:
+      case Opcode::ST32D:
+      case Opcode::ST32R:
+        return 4;
+      case Opcode::LD_FRAC8:
+        return 5;
+      case Opcode::SUPER_LD32R:
+        return 8;
+      default:
+        badMemAccessSize(opc);
+    }
+}
 
 } // namespace tm3270
 

@@ -10,7 +10,9 @@ namespace tm3270
 
 Lsu::Lsu(LsuConfig cfg_, CacheGeometry dgeom, Biu &biu_, MainMemory &mem_,
          MmioDevice *mmio_)
-    : cfg(cfg_), dc(std::move(dgeom)), biu(biu_), mem(mem_), mmio(mmio_)
+    : cfg(cfg_), dc(std::move(dgeom)), biu(biu_), mem(mem_), mmio(mmio_),
+      pfPending(mem_.size(), dc.lineBytes()),
+      pfInstalled(mem_.size(), dc.lineBytes())
 {
 }
 
@@ -37,15 +39,31 @@ Lsu::writeVictim(const Victim &v)
         return;
     // Copy-back: only the validated bytes reach memory (the SoC bus
     // protocol carries byte-validity indicators, paper §4.1).
-    for (unsigned i = 0; i < v.vmask.size(); ++i) {
-        if (v.vmask[i])
-            mem.setByte(v.lineAddr + i, v.data[i]);
-    }
+    mem.writeMasked(v.lineAddr, v.data.data(), dc.lineBytes(),
+                    v.vmask.data());
+}
+
+void
+Lsu::pfRecomputeNextEvent()
+{
+    Cycles next = kNeverCycle;
+    for (const InflightPf &p : inflightPf)
+        next = std::min(next, p.done);
+    pfInflightNextDone = next;
+    // While queued prefetches could issue (or be dropped as resident)
+    // the engine must poll every tick: bus arbitration against demand
+    // traffic is not an event the LSU can predict.
+    pfNextEvent =
+        (!pfQueue.empty() && inflightPf.size() < cfg.maxInflightPrefetch)
+            ? 0
+            : next;
 }
 
 void
 Lsu::servicePrefetches(Cycles now)
 {
+    if (now < pfInflightNextDone)
+        return; // provable no-op: nothing in flight completes by now
     for (size_t i = 0; i < inflightPf.size();) {
         if (inflightPf[i].done > now) {
             ++i;
@@ -54,28 +72,31 @@ Lsu::servicePrefetches(Cycles now)
         Addr la = inflightPf[i].lineAddr;
         if (dc.probe(la) < 0) {
             int way;
-            Victim v = dc.allocate(la, way);
+            dc.allocate(la, way, victimBuf);
             dc.fillFromMemory(mem, la, way);
-            writeVictim(v);
-            if (v.valid && v.dirty)
-                biu.asyncWrite(v.lineAddr, dc.lineBytes(), now);
-            pfInstalled.insert(la);
+            writeVictim(victimBuf);
+            if (victimBuf.valid && victimBuf.dirty)
+                biu.asyncWrite(victimBuf.lineAddr, dc.lineBytes(), now);
+            pfInstalled.set(la);
             hPrefetchInstalled.inc();
         }
-        pfPending.erase(la);
+        pfPending.clear(la);
         inflightPf.erase(inflightPf.begin() + long(i));
     }
+    pfRecomputeNextEvent();
 }
 
 void
 Lsu::tryIssuePrefetch(Cycles now)
 {
+    if (pfQueue.empty() || inflightPf.size() >= cfg.maxInflightPrefetch)
+        return; // provable no-op
     while (inflightPf.size() < cfg.maxInflightPrefetch && !pfQueue.empty()) {
         Addr la = pfQueue.front();
         if (dc.probe(la) >= 0) {
             // Became resident in the meantime; drop.
             pfQueue.pop_front();
-            pfPending.erase(la);
+            pfPending.clear(la);
             continue;
         }
         Cycles done = biu.prefetchRead(la, dc.lineBytes(), now);
@@ -85,25 +106,20 @@ Lsu::tryIssuePrefetch(Cycles now)
         inflightPf.push_back({la, done});
         hPrefetchIssued.inc();
     }
+    pfRecomputeNextEvent();
 }
 
 void
 Lsu::enqueuePrefetch(Addr line_addr)
 {
-    if (dc.probe(line_addr) >= 0 || pfPending.count(line_addr) ||
+    if (dc.probe(line_addr) >= 0 || pfPending.test(line_addr) ||
         pfQueue.size() >= cfg.prefetchQueueDepth) {
         return;
     }
     pfQueue.push_back(line_addr);
-    pfPending.insert(line_addr);
+    pfPending.set(line_addr);
     hPrefetchRequests.inc();
-}
-
-void
-Lsu::tick(Cycles now)
-{
-    servicePrefetches(now);
-    tryIssuePrefetch(now);
+    pfRecomputeNextEvent();
 }
 
 Cycles
@@ -129,7 +145,7 @@ Lsu::cwbPush(Cycles now)
 
 Cycles
 Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
-                       Cycles now)
+                       Cycles now, int &way_out)
 {
     servicePrefetches(now);
 
@@ -137,8 +153,9 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
     if (way >= 0 && dc.bytesValid(line_addr, way, offset, len)) {
         dc.touch(line_addr, way);
         hLoadLineHits.inc();
-        if (pfInstalled.erase(line_addr))
+        if (pfInstalled.testClear(line_addr))
             hPrefetchUseful.inc();
+        way_out = way;
         return 0;
     }
 
@@ -153,6 +170,7 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
         int w = dc.probe(line_addr);
         tm_assert(w >= 0, "prefetched line not installed");
         dc.touch(line_addr, w);
+        way_out = w;
         return stall;
     }
 
@@ -164,19 +182,20 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
         dc.fillFromMemory(mem, line_addr, way);
         dc.touch(line_addr, way);
     } else {
-        Victim v = dc.allocate(line_addr, way);
-        writeVictim(v);
+        dc.allocate(line_addr, way, victimBuf);
+        writeVictim(victimBuf);
         dc.fillFromMemory(mem, line_addr, way);
-        if (v.valid && v.dirty)
-            biu.asyncWrite(v.lineAddr, dc.lineBytes(), done);
+        if (victimBuf.valid && victimBuf.dirty)
+            biu.asyncWrite(victimBuf.lineAddr, dc.lineBytes(), done);
     }
     Cycles stall = done - now;
     hLoadMissStallCycles.inc(stall);
+    way_out = way;
     return stall;
 }
 
 Cycles
-Lsu::ensureLineForStore(Addr line_addr, Cycles now)
+Lsu::ensureLineForStore(Addr line_addr, Cycles now, int &way_out)
 {
     servicePrefetches(now);
 
@@ -184,6 +203,7 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now)
     if (way >= 0) {
         dc.touch(line_addr, way);
         hStoreLineHits.inc();
+        way_out = way;
         return 0;
     }
 
@@ -195,29 +215,31 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now)
         int w = dc.probe(line_addr);
         tm_assert(w >= 0, "prefetched line not installed");
         dc.touch(line_addr, w);
+        way_out = w;
         return stall;
     }
 
     hStoreLineMisses.inc();
     Cycles stall = 0;
-    Victim v = dc.allocate(line_addr, way);
-    writeVictim(v);
+    dc.allocate(line_addr, way, victimBuf);
+    writeVictim(victimBuf);
     if (cfg.allocateOnWriteMiss) {
         // Allocate-on-write-miss: no fetch; the line starts with all
         // bytes invalid and the byte-validity mask tracks the stores.
-        if (v.valid && v.dirty)
-            biu.asyncWrite(v.lineAddr, dc.lineBytes(), now);
+        if (victimBuf.valid && victimBuf.dirty)
+            biu.asyncWrite(victimBuf.lineAddr, dc.lineBytes(), now);
         hStoreAllocations.inc();
     } else {
         // Fetch-on-write-miss (TM3260): the line is fetched from
         // memory before the store merges into it.
         Cycles done = biu.demandRead(line_addr, dc.lineBytes(), now);
         dc.fillFromMemory(mem, line_addr, way);
-        if (v.valid && v.dirty)
-            biu.asyncWrite(v.lineAddr, dc.lineBytes(), done);
+        if (victimBuf.valid && victimBuf.dirty)
+            biu.asyncWrite(victimBuf.lineAddr, dc.lineBytes(), done);
         stall = done - now;
         hStoreFetchStallCycles.inc(stall);
     }
+    way_out = way;
     return stall;
 }
 
@@ -236,8 +258,8 @@ Lsu::accessLoadBytes(Addr addr, unsigned len, uint8_t *out, Cycles now)
         Addr line = dc.lineAddrOf(cur);
         unsigned off = cur - line;
         unsigned chunk = std::min(len - done, dc.lineBytes() - off);
-        stall += ensureLineForLoad(line, off, chunk, now + stall);
-        int way = dc.probe(line);
+        int way;
+        stall += ensureLineForLoad(line, off, chunk, now + stall, way);
         dc.readBytes(line, way, off, chunk, out + done);
         done += chunk;
         cur += chunk;
@@ -261,8 +283,8 @@ Lsu::accessStoreBytes(Addr addr, unsigned len, const uint8_t *data,
         Addr line = dc.lineAddrOf(cur);
         unsigned off = cur - line;
         unsigned chunk = std::min(len - done, dc.lineBytes() - off);
-        stall += ensureLineForStore(line, now + stall);
-        int way = dc.probe(line);
+        int way;
+        stall += ensureLineForStore(line, now + stall, way);
         dc.writeBytes(line, way, off, chunk, data + done);
         done += chunk;
         cur += chunk;
@@ -384,8 +406,10 @@ Lsu::flushCaches()
     cwbLastDrain = 0;
     inflightPf.clear();
     pfQueue.clear();
-    pfPending.clear();
-    pfInstalled.clear();
+    pfPending.reset();
+    pfInstalled.reset();
+    pfInflightNextDone = kNeverCycle;
+    pfNextEvent = kNeverCycle;
 }
 
 } // namespace tm3270

@@ -14,13 +14,13 @@
 #define TM3270_LSU_LSU_HH
 
 #include <deque>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "isa/semantics.hh"
 #include "lsu/mmio.hh"
 #include "memory/biu.hh"
+#include "prefetch/line_flags.hh"
 #include "prefetch/region_prefetcher.hh"
 #include "support/stats.hh"
 
@@ -68,8 +68,20 @@ class Lsu
      *  the core, which owns both the LSU and the device). */
     void setMmio(MmioDevice *m) { mmio = m; }
 
-    /** Per-instruction housekeeping: prefetch completions and issue. */
-    void tick(Cycles now);
+    /**
+     * Per-instruction housekeeping: prefetch completions and issue.
+     * Event-driven: a single compare against the next cycle at which
+     * the prefetch machinery can make progress (see pfNextEvent), so
+     * an idle LSU pays one branch per instruction.
+     */
+    void
+    tick(Cycles now)
+    {
+        if (now < pfNextEvent)
+            return;
+        servicePrefetches(now);
+        tryIssuePrefetch(now);
+    }
 
     /** Copy back all dirty lines and invalidate (end of run). */
     void flushCaches();
@@ -100,8 +112,34 @@ class Lsu
     };
     std::vector<InflightPf> inflightPf;
     std::deque<Addr> pfQueue;
-    std::unordered_set<Addr> pfPending;   ///< queued or in flight
-    std::unordered_set<Addr> pfInstalled; ///< for usefulness stats
+    LineFlags pfPending;   ///< queued or in flight (one bit per line)
+    LineFlags pfInstalled; ///< for usefulness stats (one bit per line)
+
+    /** Reusable eviction buffer: Cache::allocate fills it in place,
+     *  so the steady-state miss path performs no heap allocation. */
+    Victim victimBuf;
+
+    static constexpr Cycles kNeverCycle = ~Cycles(0);
+
+    /**
+     * Event-driven fast path (DESIGN.md §8). Invariant, re-established
+     * by pfRecomputeNextEvent() after every mutation of the prefetch
+     * queue or in-flight list:
+     *
+     *  - pfInflightNextDone: earliest completion cycle of an in-flight
+     *    prefetch (kNeverCycle when none) — servicePrefetches() is a
+     *    provable no-op strictly before it;
+     *  - pfNextEvent: earliest cycle at which tick() can do anything:
+     *    kNeverCycle when queue and in-flight list are both empty,
+     *    pfInflightNextDone while the queue is blocked behind a full
+     *    in-flight list, 0 (poll) while queued prefetches are eligible
+     *    to issue or drop (bus-arbitration windows).
+     *
+     * Both are conservative only in the direction of running the slow
+     * path, never of skipping work, so stats stay bit-identical.
+     */
+    Cycles pfInflightNextDone = kNeverCycle;
+    Cycles pfNextEvent = kNeverCycle;
 
     // Interned counters for the per-access hot path.
     StatHandle hLoads = stats.handle("loads");
@@ -132,9 +170,11 @@ class Lsu
 
     bool isMmio(Addr addr) const;
     void writeVictim(const Victim &v);
+    /** ensureLineFor*() leave the line resident and return its way
+     *  through @p way_out, so callers need no second tag probe. */
     Cycles ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
-                             Cycles now);
-    Cycles ensureLineForStore(Addr line_addr, Cycles now);
+                             Cycles now, int &way_out);
+    Cycles ensureLineForStore(Addr line_addr, Cycles now, int &way_out);
     Cycles accessLoadBytes(Addr addr, unsigned len, uint8_t *out,
                            Cycles now);
     Cycles accessStoreBytes(Addr addr, unsigned len, const uint8_t *data,
@@ -143,6 +183,7 @@ class Lsu
     void enqueuePrefetch(Addr line_addr);
     void servicePrefetches(Cycles now);
     void tryIssuePrefetch(Cycles now);
+    void pfRecomputeNextEvent();
     int inflightIndex(Addr line_addr) const;
 };
 

@@ -1,5 +1,7 @@
 #include "memory/main_memory.hh"
 
+#include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "support/logging.hh"
@@ -33,6 +35,30 @@ MainMemory::write(Addr addr, const uint8_t *data, size_t len,
     for (size_t i = 0; i < len; ++i) {
         if (mask[i / 8] & (1u << (i % 8)))
             store[addr + i] = data[i];
+    }
+}
+
+void
+MainMemory::writeMasked(Addr addr, const uint8_t *data, size_t len,
+                        const uint64_t *mask_words)
+{
+    tm_assert(size_t(addr) + len <= store.size(),
+              "memory write out of bounds: addr 0x%08x len %zu", addr, len);
+    for (size_t w = 0; w * 64 < len; ++w) {
+        size_t base = w * 64;
+        size_t n = std::min<size_t>(64, len - base);
+        uint64_t full =
+            n == 64 ? ~uint64_t(0) : (uint64_t(1) << n) - 1;
+        uint64_t m = mask_words[w] & full;
+        if (m == full) {
+            std::memcpy(store.data() + addr + base, data + base, n);
+        } else {
+            while (m) {
+                unsigned i = unsigned(std::countr_zero(m));
+                store[addr + base + i] = data[base + i];
+                m &= m - 1;
+            }
+        }
     }
 }
 

@@ -54,6 +54,15 @@ class MainMemory
     void write(Addr addr, const uint8_t *data, size_t len,
                const uint8_t *mask = nullptr);
 
+    /**
+     * Functional write with a packed 64-bit-word byte mask (bit i of
+     * word i/64 validates byte i), the representation the cache keeps
+     * per line: copy-backs of fully-valid lines degrade to a single
+     * memcpy, sparse masks to one store per set bit.
+     */
+    void writeMasked(Addr addr, const uint8_t *data, size_t len,
+                     const uint64_t *mask_words);
+
     uint8_t byteAt(Addr addr) const;
     void setByte(Addr addr, uint8_t v);
 

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-cache-line flag bitmap over the physical address space, used by
+ * the prefetch engine in the load/store unit to answer "is a prefetch
+ * of this line pending?" and "was this line installed by a prefetch?"
+ * in O(1) with one bit of state per line, instead of hashing the line
+ * address into an unordered_set on every query.
+ *
+ * One bit per line of main memory: 32 MByte of simulated DRAM with
+ * 128-byte lines is a 32 KByte bitmap, set-processor-resident on the
+ * host. Semantically this is exactly a set of line addresses; the
+ * membership operations mirror unordered_set::count/insert/erase so
+ * the replacement is stat-bit-identical.
+ */
+
+#ifndef TM3270_PREFETCH_LINE_FLAGS_HH
+#define TM3270_PREFETCH_LINE_FLAGS_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+#include "support/types.hh"
+
+namespace tm3270
+{
+
+/** A flag bit per cache line of main memory. */
+class LineFlags
+{
+  public:
+    LineFlags(size_t mem_bytes, unsigned line_bytes)
+        : lineShift(log2i(line_bytes)),
+          numLines(mem_bytes >> lineShift),
+          words((numLines + 63) / 64, 0)
+    {
+        tm_assert(isPow2(line_bytes), "line size must be a power of two");
+    }
+
+    /** Is the flag set for the line containing @p line_addr? */
+    bool
+    test(Addr line_addr) const
+    {
+        size_t i = index(line_addr);
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(Addr line_addr)
+    {
+        size_t i = index(line_addr);
+        words[i >> 6] |= uint64_t(1) << (i & 63);
+    }
+
+    void
+    clear(Addr line_addr)
+    {
+        size_t i = index(line_addr);
+        words[i >> 6] &= ~(uint64_t(1) << (i & 63));
+    }
+
+    /** Clear and return the previous value (unordered_set::erase). */
+    bool
+    testClear(Addr line_addr)
+    {
+        size_t i = index(line_addr);
+        uint64_t bit = uint64_t(1) << (i & 63);
+        bool was = words[i >> 6] & bit;
+        words[i >> 6] &= ~bit;
+        return was;
+    }
+
+    /** Clear every flag. */
+    void
+    reset()
+    {
+        std::fill(words.begin(), words.end(), 0);
+    }
+
+  private:
+    size_t
+    index(Addr line_addr) const
+    {
+        size_t i = size_t(line_addr) >> lineShift;
+        tm_assert(i < numLines,
+                  "line flag address out of range: 0x%08x", line_addr);
+        return i;
+    }
+
+    unsigned lineShift;
+    size_t numLines;
+    std::vector<uint64_t> words;
+};
+
+} // namespace tm3270
+
+#endif // TM3270_PREFETCH_LINE_FLAGS_HH

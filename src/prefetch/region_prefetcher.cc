@@ -11,6 +11,9 @@ RegionPrefetcher::setRegion(unsigned n, Addr start, Addr end,
 {
     tm_assert(n < numRegions, "prefetch region index out of range");
     regions[n] = Region{start, end, stride};
+    enabledCount = 0;
+    for (const auto &r : regions)
+        enabledCount += r.enabled();
 }
 
 void
@@ -18,6 +21,7 @@ RegionPrefetcher::reset()
 {
     for (auto &r : regions)
         r = Region{};
+    enabledCount = 0;
 }
 
 const RegionPrefetcher::Region &
@@ -28,7 +32,7 @@ RegionPrefetcher::region(unsigned n) const
 }
 
 std::optional<Addr>
-RegionPrefetcher::onLoad(Addr addr) const
+RegionPrefetcher::lookup(Addr addr) const
 {
     for (const auto &r : regions) {
         if (!r.enabled() || !r.contains(addr))

@@ -62,12 +62,22 @@ class RegionPrefetcher
     /**
      * Region lookup for a demand load at @p addr: returns the address
      * to prefetch (addr + stride of the matching region) or nullopt.
-     * The first matching region wins.
+     * The first matching region wins. Called on every load, so the
+     * nothing-programmed common case is a single compare.
      */
-    std::optional<Addr> onLoad(Addr addr) const;
+    std::optional<Addr>
+    onLoad(Addr addr) const
+    {
+        if (enabledCount == 0)
+            return std::nullopt;
+        return lookup(addr);
+    }
 
   private:
+    std::optional<Addr> lookup(Addr addr) const;
+
     std::array<Region, numRegions> regions;
+    unsigned enabledCount = 0; ///< number of enabled() regions
 };
 
 } // namespace tm3270

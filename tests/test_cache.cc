@@ -102,8 +102,8 @@ TEST(Cache, VictimCarriesOnlyValidBytes)
     ASSERT_TRUE(v.valid);
     if (v.dirty) {
         EXPECT_EQ(v.validBytes, 3u);
-        EXPECT_EQ(v.vmask[10], true);
-        EXPECT_EQ(v.vmask[9], false);
+        EXPECT_TRUE(v.maskBit(10));
+        EXPECT_FALSE(v.maskBit(9));
     }
 }
 
@@ -124,6 +124,67 @@ TEST(Cache, FlushWritesOnlyValidBytes)
     EXPECT_EQ(mem.byteAt(5), 0xAD);
     EXPECT_EQ(mem.byteAt(6), 0x11);
     EXPECT_EQ(c.probe(0x000), -1); // flush invalidates
+}
+
+TEST(Cache, RefillMergePreservesStoresAcrossMaskWordBoundary)
+{
+    // 128-byte lines: the byte-validity state of one line spans two
+    // 64-bit mask words. A store straddling byte 64 must survive a
+    // refill merge on both sides of the word boundary.
+    CacheGeometry g{"test128", 1024, 2, 128, true};
+    MainMemory mem(4096);
+    for (unsigned i = 0; i < 128; ++i)
+        mem.setByte(i, uint8_t(0x80 + (i & 0x3f)));
+
+    Cache c(g);
+    int way;
+    c.allocate(0x000, way);
+    uint8_t newer[8] = {0xA0, 0xA1, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7};
+    c.writeBytes(0x000, way, 60, 8, newer); // bytes 60..67
+    EXPECT_TRUE(c.bytesValid(0x000, way, 60, 8));
+    EXPECT_FALSE(c.bytesValid(0x000, way, 59, 8));
+    EXPECT_FALSE(c.bytesValid(0x000, way, 61, 8));
+
+    c.fillFromMemory(mem, 0x000, way);
+    uint8_t out[10];
+    c.readBytes(0x000, way, 59, 10, out); // bytes 59..68
+    EXPECT_EQ(out[0], 0x80 + (59 & 0x3f));
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(out[1 + i], newer[i]) << "byte " << (60 + i);
+    EXPECT_EQ(out[9], 0x80 + (68 & 0x3f));
+    EXPECT_TRUE(c.bytesValid(0x000, way, 0, 128));
+}
+
+TEST(Cache, EvictedWriteMissLineCarriesExactValidity)
+{
+    // Allocate-on-write-miss: a line that only ever saw stores must
+    // evict with exactly the stored bytes validated, including a run
+    // that straddles the 64-bit mask-word boundary of a 128-byte line.
+    CacheGeometry g{"test128", 1024, 2, 128, true};
+    Cache c(g);
+    int way;
+    c.allocate(0x000, way);
+    uint8_t a[6] = {1, 2, 3, 4, 5, 6};
+    c.writeBytes(0x000, way, 62, 6, a); // straddles byte 64
+    uint8_t b[2] = {7, 8};
+    c.writeBytes(0x000, way, 0, 2, b);
+
+    // Fill the set (2 ways, set stride = 4 sets * 128): evict 0x000.
+    c.allocate(0x200, way);
+    Victim v = c.allocate(0x400, way);
+    ASSERT_TRUE(v.valid);
+    ASSERT_TRUE(v.dirty);
+    EXPECT_EQ(v.lineAddr, 0x000u);
+    EXPECT_EQ(v.validBytes, 8u);
+    EXPECT_TRUE(v.maskBit(0));
+    EXPECT_TRUE(v.maskBit(1));
+    EXPECT_FALSE(v.maskBit(2));
+    EXPECT_FALSE(v.maskBit(61));
+    for (unsigned i = 0; i < 6; ++i) {
+        EXPECT_TRUE(v.maskBit(62 + i));
+        EXPECT_EQ(v.data[62 + i], a[i]);
+    }
+    EXPECT_FALSE(v.maskBit(68));
 }
 
 TEST(Cache, AllocatePrefersInvalidWay)

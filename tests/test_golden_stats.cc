@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Golden-stats gate for the memory-hierarchy fast path: full stat
+ * dumps (cycles, stalls, cache/prefetch/BIU/DRAM counters) must stay
+ * bit-identical to a checked-in golden file captured from the
+ * pre-arena tree. Covers the Table 5 suite across configurations A-D
+ * (through the sweep driver, exercising the parallel path too) plus
+ * the motion-estimation kernel with all TM3270 features on (region
+ * prefetcher programmed via MMIO) and the texture pipeline, both on
+ * configuration D.
+ *
+ * Regenerate after an *intentional* model change with:
+ *
+ *     TM_UPDATE_GOLDEN=1 ./tests/test_golden_stats
+ *
+ * and review the diff of tests/golden/golden_stats.txt like code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/sweep.hh"
+#include "workloads/motion_est.hh"
+#include "workloads/texture.hh"
+
+using namespace tm3270;
+using namespace tm3270::driver;
+using namespace tm3270::workloads;
+
+#ifndef TM_GOLDEN_STATS_FILE
+#error "TM_GOLDEN_STATS_FILE must be defined by the build"
+#endif
+
+namespace
+{
+
+/** Dump every stat group of @p sys, same order as the sweep driver. */
+void
+dumpAllGroups(System &sys, std::ostream &os)
+{
+    const StatGroup *groups[] = {
+        &sys.processor.stats,
+        &sys.processor.lsu().stats,
+        &sys.processor.lsu().dcache().stats,
+        &sys.processor.icache().stats,
+        &sys.processor.biu().stats,
+        &sys.memory.stats,
+    };
+    for (const StatGroup *g : groups)
+        g->dump(os);
+}
+
+void
+appendRun(std::ostream &os, const std::string &tag, const RunResult &r)
+{
+    os << "=== " << tag << " ===\n";
+    os << "run.cycles " << r.cycles << '\n';
+    os << "run.instrs " << r.instrs << '\n';
+}
+
+/** The full golden corpus as one deterministic text blob. */
+std::string
+collectCorpus()
+{
+    std::ostringstream os;
+
+    // Table 5 suite x configs A-D through the sweep driver (worker
+    // count from TM_JOBS; results are bit-identical regardless).
+    std::vector<SimJob> jobs;
+    for (const Workload &w : table5Suite()) {
+        for (char c : {'A', 'B', 'C', 'D'})
+            jobs.push_back(makeJob(w, c));
+    }
+    SweepDriver drv;
+    SweepReport rep = drv.run(jobs);
+    for (const JobResult &jr : rep.results) {
+        EXPECT_TRUE(jr.ok) << jr.tag << ": " << jr.error;
+        appendRun(os, jr.tag, jr.run);
+        os << jr.statDump;
+    }
+
+    // Motion estimation, all TM3270 features on: unaligned loads,
+    // LD_FRAC8 and the region prefetcher (programmed via MMIO), so the
+    // prefetch queue / in-flight / installed-usefulness machinery is
+    // part of the golden corpus.
+    {
+        System sys(tm3270Config());
+        tir::CompiledProgram cp = tir::compile(
+            buildMotionEstimation({true, true, true}), tm3270Config());
+        stageMotionEstimation(sys, 99);
+        RunResult r = sys.runProgram(cp.encoded);
+        std::string err;
+        EXPECT_TRUE(r.halted && verifyMotionEstimation(sys, 99, err))
+            << err;
+        appendRun(os, "motion_est/D", r);
+        dumpAllGroups(sys, os);
+    }
+
+    // Texture pipeline (two-slot variant) on configuration D.
+    {
+        System sys(tm3270Config());
+        tir::CompiledProgram cp = tir::compile(buildTexturePipeline(true),
+                                               tm3270Config());
+        stageTexture(sys, 17);
+        RunResult r = sys.runProgram(cp.encoded);
+        std::string err;
+        EXPECT_TRUE(r.halted && verifyTexture(sys, 17, err)) << err;
+        appendRun(os, "texture/D", r);
+        dumpAllGroups(sys, os);
+    }
+
+    return os.str();
+}
+
+/** First line where @p a and @p b differ, for a readable failure. */
+std::string
+firstDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a), sb(b);
+    std::string la, lb;
+    size_t n = 1;
+    while (true) {
+        bool ga = bool(std::getline(sa, la));
+        bool gb = bool(std::getline(sb, lb));
+        if (!ga && !gb)
+            return "no difference";
+        if (la != lb || ga != gb) {
+            return "line " + std::to_string(n) + ": golden '" +
+                   (gb ? lb : "<eof>") + "' vs current '" +
+                   (ga ? la : "<eof>") + "'";
+        }
+        ++n;
+    }
+}
+
+} // namespace
+
+TEST(GoldenStats, FullDumpsBitIdenticalAcrossConfigsAndWorkloads)
+{
+    std::string current = collectCorpus();
+
+    if (std::getenv("TM_UPDATE_GOLDEN")) {
+        std::ofstream out(TM_GOLDEN_STATS_FILE, std::ios::binary);
+        ASSERT_TRUE(out.good())
+            << "cannot write " << TM_GOLDEN_STATS_FILE;
+        out << current;
+        GTEST_SKIP() << "golden file updated: " << TM_GOLDEN_STATS_FILE;
+    }
+
+    std::ifstream in(TM_GOLDEN_STATS_FILE, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << TM_GOLDEN_STATS_FILE
+        << " (generate with TM_UPDATE_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+
+    EXPECT_EQ(golden.str().size(), current.size());
+    ASSERT_EQ(golden.str(), current) << firstDiff(current, golden.str());
+}

@@ -109,6 +109,29 @@ TEST_F(LsuFixture, PartialLineLoadAfterStoreMerges)
               0x01020304u);
 }
 
+TEST_F(LsuFixture, WriteMissEvictionCopiesBackOnlyValidatedBytes)
+{
+    // Allocate-on-write-miss leaves all unwritten bytes invalid; when
+    // the line is evicted, only the validated bytes may reach memory.
+    fill(0x1000, 128);
+    uint8_t before[128];
+    mem.read(0x1000, before, 128);
+
+    lsu.store(Opcode::ST32D, 0x1000, 0x11223344, 0);
+    // Fill set 0 (4 ways, set stride 0x800) until 0x1000 is evicted.
+    Cycles now = 100;
+    for (Addr a = 0x1800; lsu.dcache().probe(0x1000) >= 0; a += 0x800)
+        now += 100 + lsu.store(Opcode::ST32D, a, 0xFF, now);
+
+    EXPECT_EQ(mem.byteAt(0x1000), 0x11);
+    EXPECT_EQ(mem.byteAt(0x1001), 0x22);
+    EXPECT_EQ(mem.byteAt(0x1002), 0x33);
+    EXPECT_EQ(mem.byteAt(0x1003), 0x44);
+    for (unsigned i = 4; i < 128; ++i)
+        EXPECT_EQ(mem.byteAt(0x1000 + i), before[i]) << "byte " << i;
+    EXPECT_GE(lsu.dcache().stats.get("copybacks"), 1u);
+}
+
 TEST_F(Tm3260LsuFixture, FetchOnWriteMissStallsAndFetches)
 {
     Cycles stall = lsu.store(Opcode::ST32D, 0x3000, 1, 0);

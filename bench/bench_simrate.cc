@@ -28,6 +28,8 @@
 
 #include "support/logging.hh"
 #include "tir/scheduler.hh"
+#include "trace/interval.hh"
+#include "trace/trace.hh"
 #include "workloads/cabac_prog.hh"
 #include "workloads/motion_est.hh"
 #include "workloads/texture.hh"
@@ -105,6 +107,45 @@ BM_SimrateMotionEst(benchmark::State &state)
         double(instrs) / double(state.iterations());
     state.counters["sim_cycles"] =
         double(cycles) / double(state.iterations());
+}
+
+/**
+ * Motion estimation with a live tracer and interval sampler: the
+ * tracing-ON companion of BM_SimrateMotionEst, making the
+ * instrumentation overhead visible in every BENCH_simrate.json. The
+ * tracing-OFF gate (scripts/check_simrate.py) intentionally excludes
+ * this benchmark: its cost is the price of tracing, not a regression.
+ */
+void
+BM_SimrateMotionEstTraced(benchmark::State &state)
+{
+    tir::CompiledProgram cp = tir::compile(
+        buildMotionEstimation({true, true, true}), tm3270Config());
+
+    uint64_t instrs = 0;
+    uint64_t events = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        System sys(tm3270Config());
+        trace::Tracer tracer;
+        trace::IntervalSampler sampler(8192);
+        sys.processor.attachTracer(&tracer);
+        sys.processor.attachSampler(&sampler);
+        stageMotionEstimation(sys, 99);
+        state.ResumeTiming();
+        RunResult r = sys.runProgram(cp.encoded);
+        state.PauseTiming();
+        std::string err;
+        if (!r.halted || !verifyMotionEstimation(sys, 99, err))
+            fatal("motion estimation mismatch: %s", err.c_str());
+        state.ResumeTiming();
+        instrs += r.instrs;
+        events += tracer.recorded();
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(int64_t(instrs));
+    state.counters["trace_events"] =
+        double(events) / double(state.iterations());
 }
 
 /** Memory size for the short kernels: big enough for their staging
@@ -188,6 +229,7 @@ BENCHMARK(BM_SimrateCabac)
     ->ArgNames({"opt"})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimrateMotionEst)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimrateMotionEstTraced)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimrateMemops)
     ->Arg(0)
     ->Arg(1)

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Capture a cycle-level trace of one workload run (README: "How to
+ * capture and view a trace"):
+ *
+ *     ./examples/trace_capture --workload motion_est --config D \
+ *         --trace-out trace.json --intervals-out intervals.csv
+ *
+ * trace.json is Chrome trace-event JSON: open https://ui.perfetto.dev
+ * (or chrome://tracing) and load the file; one simulated cycle shows
+ * as one microsecond, with core / lsu / biu / dram tracks.
+ *
+ * Options:
+ *   --workload NAME   Table 5 kernel name, or "motion_est" (default)
+ *   --config L        machine configuration A..D (default D)
+ *   --trace-out F     Chrome trace JSON path (default trace.json)
+ *   --intervals-out F interval metrics CSV path (default intervals.csv)
+ *   --interval N      sampler period in cycles (default 1024)
+ *   --ring N          tracer ring capacity in events (default 1<<18)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/config.hh"
+#include "support/logging.hh"
+#include "tir/scheduler.hh"
+#include "trace/interval.hh"
+#include "trace/trace.hh"
+#include "workloads/motion_est.hh"
+#include "workloads/workload.hh"
+
+using namespace tm3270;
+using namespace tm3270::workloads;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload NAME] [--config A..D]\n"
+                 "          [--trace-out FILE] [--intervals-out FILE]\n"
+                 "          [--interval CYCLES] [--ring EVENTS]\n"
+                 "workloads: motion_est",
+                 argv0);
+    for (const Workload &w : table5Suite())
+        std::fprintf(stderr, ", %s", w.name.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "motion_est";
+    char configLetter = 'D';
+    std::string traceOut = "trace.json";
+    std::string intervalsOut = "intervals.csv";
+    Cycles interval = 1024;
+    size_t ring = size_t(1) << 18;
+
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&](const char *opt) -> const char * {
+            if (std::strcmp(argv[i], opt) != 0 || i + 1 >= argc)
+                return nullptr;
+            return argv[++i];
+        };
+        if (const char *v = value("--workload")) {
+            workload = v;
+        } else if (const char *v = value("--config")) {
+            configLetter = v[0];
+        } else if (const char *v = value("--trace-out")) {
+            traceOut = v;
+        } else if (const char *v = value("--intervals-out")) {
+            intervalsOut = v;
+        } else if (const char *v = value("--interval")) {
+            interval = Cycles(std::strtoull(v, nullptr, 10));
+        } else if (const char *v = value("--ring")) {
+            ring = size_t(std::strtoull(v, nullptr, 10));
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    MachineConfig cfg;
+    try {
+        cfg = configByLetter(configLetter);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "bad --config: %s\n", e.what());
+        return 2;
+    }
+
+    trace::Tracer tracer(ring);
+    trace::IntervalSampler sampler(interval);
+    System sys(cfg);
+    sys.processor.attachTracer(&tracer);
+    sys.processor.attachSampler(&sampler);
+
+    RunResult r;
+    try {
+        if (workload == "motion_est") {
+            tir::CompiledProgram cp = tir::compile(
+                buildMotionEstimation({true, true, true}), cfg);
+            stageMotionEstimation(sys, 99);
+            r = sys.runProgram(cp.encoded);
+            std::string err;
+            if (!r.halted || !verifyMotionEstimation(sys, 99, err)) {
+                std::fprintf(stderr, "verify failed: %s\n", err.c_str());
+                return 1;
+            }
+        } else {
+            const Workload *found = nullptr;
+            static std::vector<Workload> suite = table5Suite();
+            for (const Workload &w : suite) {
+                if (w.name == workload)
+                    found = &w;
+            }
+            if (!found)
+                return usage(argv[0]);
+            tir::CompiledProgram cp = tir::compile(found->build(), cfg);
+            RunOutcome o = runWorkloadOn(sys, *found, cp.encoded);
+            if (!o.ok) {
+                std::fprintf(stderr, "run failed: %s\n", o.error.c_str());
+                return 1;
+            }
+            r = o.run;
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 1;
+    }
+
+    std::ofstream tf(traceOut);
+    if (!tf) {
+        std::fprintf(stderr, "cannot write %s\n", traceOut.c_str());
+        return 1;
+    }
+    tracer.writeChromeJson(tf);
+
+    std::ofstream cf(intervalsOut);
+    if (!cf) {
+        std::fprintf(stderr, "cannot write %s\n", intervalsOut.c_str());
+        return 1;
+    }
+    sampler.writeCsv(cf);
+
+    std::printf("%s/%c: %llu cycles, %llu instrs, %llu stall cycles\n",
+                workload.c_str(), configLetter,
+                (unsigned long long)r.cycles, (unsigned long long)r.instrs,
+                (unsigned long long)r.stallCycles);
+    std::printf("stall breakdown:\n");
+    for (const auto &[k, v] : sys.processor.stats.all()) {
+        if (k.rfind("stall.", 0) == 0)
+            std::printf("  cpu.%s %llu\n", k.c_str(),
+                        (unsigned long long)v);
+    }
+    std::printf("trace: %s (%llu events recorded, %llu dropped)\n",
+                traceOut.c_str(), (unsigned long long)tracer.recorded(),
+                (unsigned long long)tracer.dropped());
+    std::printf("intervals: %s (%zu rows, every %llu cycles)\n",
+                intervalsOut.c_str(), sampler.rows().size(),
+                (unsigned long long)sampler.period());
+    return 0;
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Tracing-off overhead gate for the simulation-rate benchmark.
+
+Compares a fresh BENCH_simrate.json against the committed baseline:
+every benchmark present in both must keep items_per_second (simulated
+VLIW instructions per wall second) within a tolerance of its baseline.
+Benchmarks only present on one side — e.g. the tracing-ON companion
+BM_SimrateMotionEstTraced, whose cost is the price of tracing, not a
+regression — are reported but not gated.
+
+Usage:
+    scripts/check_simrate.py NEW.json [BASELINE.json]
+
+BASELINE.json defaults to the committed BENCH_simrate.json next to
+this repository's root. The relative slowdown tolerance is 0.02 (2%),
+overridable via TM_SIMRATE_TOLERANCE. Exits non-zero when any gated
+benchmark regresses beyond tolerance.
+
+Shared-host noise handling: when a file holds several entries for one
+benchmark (e.g. a --benchmark_repetitions run), the *fastest* is used
+— transient host load only ever slows a run down, so the max over
+repetitions is the best available estimate of the code's true rate.
+scripts/verify.sh measures with 3 repetitions, and the committed
+baseline records a per-benchmark floor over several runs on the
+reference host for the same reason.
+"""
+
+import json
+import os
+import sys
+
+
+def load_rates(path):
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            name = b["name"]
+            rates[name] = max(rates.get(name, 0.0), float(ips))
+    return rates
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    new_path = argv[1]
+    base_path = (
+        argv[2]
+        if len(argv) == 3
+        else os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "BENCH_simrate.json",
+        )
+    )
+    tolerance = float(os.environ.get("TM_SIMRATE_TOLERANCE", "0.02"))
+
+    base = load_rates(base_path)
+    new = load_rates(new_path)
+    if not base or not new:
+        print(f"error: no items_per_second entries in "
+              f"{base_path if not base else new_path}", file=sys.stderr)
+        return 2
+
+    failed = []
+    for name in sorted(set(base) | set(new)):
+        if "Traced" in name:
+            print(f"  {name:42s} (tracing-on companion; not gated)")
+            continue
+        if name not in base or name not in new:
+            side = "baseline" if name in base else "new run"
+            print(f"  {name:42s} ({side} only; not gated)")
+            continue
+        ratio = new[name] / base[name]
+        status = "ok"
+        if ratio < 1.0 - tolerance:
+            status = "REGRESSION"
+            failed.append(name)
+        print(f"  {name:42s} {base[name] / 1e6:8.2f} -> "
+              f"{new[name] / 1e6:8.2f} M instr/s  "
+              f"({(ratio - 1.0) * 100:+6.2f}%)  {status}")
+
+    if failed:
+        print(f"simrate gate FAILED (>{tolerance * 100:.0f}% below "
+              f"baseline): {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"simrate gate passed (tolerance {tolerance * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

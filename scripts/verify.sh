@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full verification ladder: tier-1 tests, ASan/UBSan, and the TSan
-# sweep-driver subset, in one command:
+# Full verification ladder: tier-1 tests, ASan/UBSan, the TSan
+# sweep-driver subset, trace validity, and the tracing-off simrate
+# gate, in one command:
 #
 #     scripts/verify.sh [-j N]
 #
@@ -9,6 +10,12 @@
 #   build-asan/  -DTM_SANITIZE=address,undefined, full suite
 #   build-tsan/  -DTM_SANITIZE=thread, -R 'Sweep|ProgramCache'
 #                (the threaded code: sweep pool + compile-once cache)
+#
+# Stage 4 captures a small trace with examples/trace_capture and
+# checks it is valid Chrome trace-event JSON; stage 5 re-runs
+# bench_simrate and gates items_per_second against the committed
+# BENCH_simrate.json (tolerance 2%, see scripts/check_simrate.py), so
+# the never-taken tracing branches stay free in the hot loops.
 #
 # Exits non-zero on the first failing stage. Incremental: existing
 # build trees are reused, so re-runs only pay for what changed.
@@ -40,5 +47,31 @@ cmake -B build-tsan -S . -DTM_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'Sweep|ProgramCache'
+
+stage "trace validity (examples/trace_capture)"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+./build/examples/trace_capture --workload motion_est --config D \
+    --trace-out "$tracedir/trace.json" \
+    --intervals-out "$tracedir/intervals.csv"
+python3 - "$tracedir/trace.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+events = d["traceEvents"]
+assert events, "empty traceEvents"
+phases = {e["ph"] for e in events}
+assert phases <= {"X", "i", "C", "M"}, f"unexpected phases: {phases}"
+assert all("ts" in e for e in events if e["ph"] != "M")
+print(f"trace OK: {len(events)} events, phases {sorted(phases)}")
+EOF
+
+stage "tracing-off simrate gate (2%)"
+# 3 repetitions; the gate takes the fastest of each (host load only
+# ever slows a run down, so max-over-reps estimates the true rate).
+./build/bench/bench_simrate \
+    --benchmark_repetitions=3 \
+    --benchmark_out="$tracedir/simrate.json" \
+    --benchmark_out_format=json
+python3 scripts/check_simrate.py "$tracedir/simrate.json"
 
 stage "all green"

@@ -5,6 +5,8 @@
 #include "isa/semantics.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
+#include "trace/interval.hh"
+#include "trace/trace.hh"
 
 namespace tm3270
 {
@@ -50,7 +52,37 @@ Processor::Processor(MachineConfig cfg_, MainMemory &mem_)
     // The LSU is constructed before the MMIO device it routes to;
     // attach the device now.
     lsu_.setMmio(&mmio_);
+    // Home the exhaustive stall breakdown under "cpu.stall": icache
+    // stalls are counted here, the data-side causes by the LSU through
+    // rebound handles.
+    stats.addChild(&stallStats);
+    lsu_.bindStallStats(stallStats);
     regs[regOne] = 1;
+}
+
+void
+Processor::attachTracer(trace::Tracer *t)
+{
+    tracer_ = t;
+    lsu_.setTracer(t);
+    biu_.setTracer(t);
+    mem.setTracer(t);
+}
+
+void
+Processor::attachSampler(trace::IntervalSampler *s)
+{
+    sampler_ = s;
+    if (!s)
+        return;
+    trace::SamplerSources src;
+    src.icacheAccesses = hIcacheAccesses;
+    src.icacheMisses = hIcacheMisses;
+    src.loads = lsu_.stats.handle("loads");
+    src.loadLineMisses = lsu_.stats.handle("load_line_misses");
+    src.prefetchInstalled = lsu_.stats.handle("prefetch_installed");
+    src.prefetchUseful = lsu_.stats.handle("prefetch_useful");
+    s->bind(src);
 }
 
 void
@@ -232,6 +264,8 @@ Processor::fetchTiming(Addr addr, uint32_t size)
             continue;
         }
         hIcacheMisses.inc();
+        TM_TRACE_EVENT(tracer_, trace::Ev::IcacheMiss, cycle + stall, 0,
+                       line);
         Cycles done = biu_.demandRead(imemTimingBase + line,
                                       icache_.lineBytes(),
                                       cycle + stall);
@@ -240,8 +274,12 @@ Processor::fetchTiming(Addr addr, uint32_t size)
         // Instruction cache lines are never dirty: nothing to write back.
         icache_.markAllValid(line, way);
     }
-    if (stall)
+    if (stall) {
         hIstallCycles.inc(stall);
+        hStallIcache.inc(stall);
+        TM_TRACE_EVENT(tracer_, trace::Ev::StallIcache, cycle,
+                       uint32_t(stall));
+    }
     return stall;
 }
 
@@ -296,6 +334,7 @@ Processor::step()
     bool do_halt = false;
     bool branch_taken = false;
     Addr branch_target = 0;
+    const uint64_t ops_before = opsIssued;
 
     for (unsigned i = 0; i < n_ops; ++i) {
         const PredecodedOp &pd = pi.ops[i];
@@ -412,6 +451,8 @@ Processor::step()
     }
 
     // Advance.
+    TM_TRACE_EVENT(tracer_, trace::Ev::Issue, cycle, 0, 0,
+                   uint32_t(opsIssued - ops_before));
     ++instrsIssued;
     ++issueTick;
     cycle += 1 + stall;
@@ -457,7 +498,13 @@ Processor::run(uint64_t max_instrs)
         if (pc >= prog->bytes.size())
             fatal("PC 0x%08x ran past the end of the program image", pc);
         step();
+        if (sampler_ != nullptr) [[unlikely]] {
+            sampler_->maybeSample(cycle, instrsIssued, opsIssued,
+                                  stallTotal);
+        }
     }
+    if (sampler_ != nullptr)
+        sampler_->finishRun(cycle, instrsIssued, opsIssued, stallTotal);
 
     r.halted = halted;
     r.exitValue = exitValue;

@@ -28,6 +28,12 @@
 namespace tm3270
 {
 
+namespace trace
+{
+class Tracer;
+class IntervalSampler;
+}
+
 /** Outcome of a simulation run. */
 struct RunResult
 {
@@ -113,6 +119,19 @@ class Processor
     /** Reset architectural and micro-architectural state. */
     void reset();
 
+    /**
+     * Attach/detach the cycle-level event tracer (null: off). Fans out
+     * to the LSU, BIU and main memory so one ring buffer collects the
+     * whole machine. The tracer only observes: it never feeds back
+     * into timing or stats, so traced runs are bit-identical to
+     * untraced ones (gated by tests/test_trace.cc).
+     */
+    void attachTracer(trace::Tracer *t);
+
+    /** Attach/detach the interval sampler (null: off). Binds the
+     *  sampler's counter sources to this processor's stat groups. */
+    void attachSampler(trace::IntervalSampler *s);
+
     StatGroup stats{"cpu"};
 
   private:
@@ -190,6 +209,15 @@ class Processor
     StatHandle hCycles = stats.handle("cycles");
     StatHandle hInstrs = stats.handle("instrs");
     StatHandle hOps = stats.handle("ops");
+
+    /** Exhaustive per-cause stall breakdown ("cpu.stall.*"): icache
+     *  here, the data-side causes rebound from the LSU. The counters
+     *  partition stall_cycles exactly (gated by tests/test_trace.cc). */
+    StatGroup stallStats{"stall"};
+    StatHandle hStallIcache = stallStats.handle("icache");
+
+    trace::Tracer *tracer_ = nullptr;
+    trace::IntervalSampler *sampler_ = nullptr;
 
     const DecodedInst &decodeAt(Addr addr,
                                 std::optional<uint16_t> templ);

@@ -3,11 +3,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "support/logging.hh"
+#include "trace/interval.hh"
+#include "trace/trace.hh"
 
 namespace tm3270::driver
 {
@@ -45,10 +49,76 @@ collectStats(System &sys, JobResult &jr)
     jr.statDump = os.str();
 }
 
+/**
+ * Per-job tracing options, resolved once per sweep from the
+ * environment: TM_TRACE names a directory that receives one Chrome
+ * trace (<tag>.trace.json) and one interval series (<tag>.intervals.csv)
+ * per job; TM_TRACE_RING overrides the ring capacity (events) and
+ * TM_TRACE_INTERVAL the sampler period (cycles). Unset TM_TRACE means
+ * tracing fully off (null tracer pointers everywhere).
+ */
+struct TraceOptions
+{
+    bool enabled = false;
+    std::string dir;
+    size_t ringCapacity = size_t(1) << 18;
+    Cycles samplePeriod = 8192;
+};
+
+TraceOptions
+resolveTraceOptions()
+{
+    TraceOptions opt;
+    const char *dir = std::getenv("TM_TRACE");
+    if (dir == nullptr || *dir == '\0')
+        return opt;
+    opt.dir = dir;
+    if (const char *e = std::getenv("TM_TRACE_RING")) {
+        long n = std::strtol(e, nullptr, 10);
+        if (n > 0)
+            opt.ringCapacity = size_t(n);
+        else
+            warn("ignoring TM_TRACE_RING='%s' (want a positive integer)",
+                 e);
+    }
+    if (const char *e = std::getenv("TM_TRACE_INTERVAL")) {
+        long n = std::strtol(e, nullptr, 10);
+        if (n > 0)
+            opt.samplePeriod = Cycles(n);
+        else
+            warn("ignoring TM_TRACE_INTERVAL='%s' (want a positive "
+                 "integer)", e);
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(opt.dir, ec);
+    if (ec) {
+        warn("TM_TRACE: cannot create directory %s: %s — tracing "
+             "disabled", opt.dir.c_str(), ec.message().c_str());
+        return opt;
+    }
+    opt.enabled = true;
+    return opt;
+}
+
+/** Job tags ("mpeg2_me/D") become filenames: keep [A-Za-z0-9._-]. */
+std::string
+sanitizeTag(const std::string &tag)
+{
+    std::string out = tag;
+    for (char &ch : out) {
+        bool keep = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' ||
+                    ch == '-';
+        if (!keep)
+            ch = '_';
+    }
+    return out;
+}
+
 /** Execute one job: compile (through the cache), run, verify, harvest
  *  stats. Never throws — every failure becomes {ok=false, error}. */
 JobResult
-runJob(const SimJob &job, ProgramCache &cache)
+runJob(const SimJob &job, ProgramCache &cache, const TraceOptions &topt)
 {
     JobResult jr;
     jr.tag = job.tag;
@@ -56,12 +126,34 @@ runJob(const SimJob &job, ProgramCache &cache)
     try {
         ProgramCache::ProgramPtr prog = cache.get(job.workload, job.config);
         System sys(job.config);
+        // Each job owns its System, so per-job tracers need no locking.
+        std::optional<trace::Tracer> tracer;
+        std::optional<trace::IntervalSampler> sampler;
+        if (topt.enabled) {
+            tracer.emplace(topt.ringCapacity);
+            sampler.emplace(topt.samplePeriod);
+            sys.processor.attachTracer(&*tracer);
+            sys.processor.attachSampler(&*sampler);
+        }
         workloads::RunOutcome o =
             workloads::runWorkloadOn(sys, job.workload, prog->encoded);
         jr.ok = o.ok;
         jr.error = o.error;
         jr.run = o.run;
         collectStats(sys, jr);
+        if (topt.enabled) {
+            std::string base = topt.dir + "/" + sanitizeTag(job.tag);
+            std::ofstream tf(base + ".trace.json");
+            if (tf)
+                tracer->writeChromeJson(tf);
+            else
+                warn("cannot write %s.trace.json", base.c_str());
+            std::ofstream cf(base + ".intervals.csv");
+            if (cf)
+                sampler->writeCsv(cf);
+            else
+                warn("cannot write %s.intervals.csv", base.c_str());
+        }
     } catch (const FatalError &e) {
         jr.ok = false;
         jr.error = e.what();
@@ -143,10 +235,11 @@ SweepDriver::run(const std::vector<SimJob> &jobs)
     const uint64_t misses0 = cache_.misses();
 
     Clock::time_point t0 = Clock::now();
+    const TraceOptions topt = resolveTraceOptions();
     std::atomic<size_t> next{0};
     auto worker = [&] {
         for (size_t i; (i = next.fetch_add(1)) < jobs.size();)
-            rep.results[i] = runJob(jobs[i], cache_);
+            rep.results[i] = runJob(jobs[i], cache_, topt);
     };
     const size_t pool = std::min<size_t>(nWorkers, jobs.size());
     if (pool <= 1) {

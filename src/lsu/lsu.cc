@@ -4,9 +4,12 @@
 
 #include "support/bitops.hh"
 #include "support/logging.hh"
+#include "trace/trace.hh"
 
 namespace tm3270
 {
+
+using trace::Ev;
 
 Lsu::Lsu(LsuConfig cfg_, CacheGeometry dgeom, Biu &biu_, MainMemory &mem_,
          MmioDevice *mmio_)
@@ -14,6 +17,7 @@ Lsu::Lsu(LsuConfig cfg_, CacheGeometry dgeom, Biu &biu_, MainMemory &mem_,
       pfPending(mem_.size(), dc.lineBytes()),
       pfInstalled(mem_.size(), dc.lineBytes())
 {
+    stats.addChild(&stallStatsSelf);
 }
 
 bool
@@ -79,6 +83,8 @@ Lsu::servicePrefetches(Cycles now)
                 biu.asyncWrite(victimBuf.lineAddr, dc.lineBytes(), now);
             pfInstalled.set(la);
             hPrefetchInstalled.inc();
+            TM_TRACE_EVENT(tracer, Ev::PrefetchInstall,
+                           inflightPf[i].done, 0, la);
         }
         pfPending.clear(la);
         inflightPf.erase(inflightPf.begin() + long(i));
@@ -97,6 +103,7 @@ Lsu::tryIssuePrefetch(Cycles now)
             // Became resident in the meantime; drop.
             pfQueue.pop_front();
             pfPending.clear(la);
+            TM_TRACE_EVENT(tracer, Ev::PrefetchDrop, now, 0, la, 0);
             continue;
         }
         Cycles done = biu.prefetchRead(la, dc.lineBytes(), now);
@@ -105,20 +112,27 @@ Lsu::tryIssuePrefetch(Cycles now)
         pfQueue.pop_front();
         inflightPf.push_back({la, done});
         hPrefetchIssued.inc();
+        TM_TRACE_EVENT(tracer, Ev::PrefetchIssue, now,
+                       uint32_t(done - now), la);
     }
     pfRecomputeNextEvent();
 }
 
 void
-Lsu::enqueuePrefetch(Addr line_addr)
+Lsu::enqueuePrefetch(Addr line_addr, Cycles now)
 {
-    if (dc.probe(line_addr) >= 0 || pfPending.test(line_addr) ||
-        pfQueue.size() >= cfg.prefetchQueueDepth) {
+    if (dc.probe(line_addr) >= 0 || pfPending.test(line_addr)) {
+        TM_TRACE_EVENT(tracer, Ev::PrefetchDrop, now, 0, line_addr, 0);
+        return;
+    }
+    if (pfQueue.size() >= cfg.prefetchQueueDepth) {
+        TM_TRACE_EVENT(tracer, Ev::PrefetchDrop, now, 0, line_addr, 1);
         return;
     }
     pfQueue.push_back(line_addr);
     pfPending.set(line_addr);
     hPrefetchRequests.inc();
+    TM_TRACE_EVENT(tracer, Ev::PrefetchRequest, now, 0, line_addr);
     pfRecomputeNextEvent();
 }
 
@@ -136,6 +150,8 @@ Lsu::cwbPush(Cycles now)
         cwb.pop_front();
         hCwbFullStalls.inc();
         hCwbFullStallCycles.inc(stall);
+        hStallCopyback.inc(stall);
+        TM_TRACE_EVENT(tracer, Ev::StallCopyback, now, uint32_t(stall));
     }
     Cycles drain = std::max(now + stall, cwbLastDrain + 1);
     cwbLastDrain = drain;
@@ -153,8 +169,10 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
     if (way >= 0 && dc.bytesValid(line_addr, way, offset, len)) {
         dc.touch(line_addr, way);
         hLoadLineHits.inc();
-        if (pfInstalled.testClear(line_addr))
+        if (pfInstalled.testClear(line_addr)) {
             hPrefetchUseful.inc();
+            TM_TRACE_EVENT(tracer, Ev::PrefetchHit, now, 0, line_addr);
+        }
         way_out = way;
         return 0;
     }
@@ -167,6 +185,9 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
         servicePrefetches(done);
         hLoadPrefetchWaits.inc();
         hLoadPrefetchWaitCycles.inc(stall);
+        hStallPrefetchWait.inc(stall);
+        TM_TRACE_EVENT(tracer, Ev::StallPrefetchWait, now,
+                       uint32_t(stall), line_addr);
         int w = dc.probe(line_addr);
         tm_assert(w >= 0, "prefetched line not installed");
         dc.touch(line_addr, w);
@@ -175,6 +196,9 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
     }
 
     hLoadLineMisses.inc();
+    TM_TRACE_EVENT(tracer,
+                   way >= 0 ? Ev::DcacheValidityMiss : Ev::DcacheLoadMiss,
+                   now, 0, line_addr);
     Cycles done = biu.demandRead(line_addr, dc.lineBytes(), now);
     if (way >= 0) {
         // Allocated-but-partially-invalid line: refill merge.
@@ -190,6 +214,9 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
     }
     Cycles stall = done - now;
     hLoadMissStallCycles.inc(stall);
+    hStallDcacheMiss.inc(stall);
+    TM_TRACE_EVENT(tracer, Ev::StallDcacheMiss, now, uint32_t(stall),
+                   line_addr);
     way_out = way;
     return stall;
 }
@@ -212,6 +239,9 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now, int &way_out)
         Cycles done = inflightPf[size_t(ifl)].done;
         Cycles stall = done > now ? done - now : 0;
         servicePrefetches(done);
+        hStallPrefetchWait.inc(stall);
+        TM_TRACE_EVENT(tracer, Ev::StallPrefetchWait, now,
+                       uint32_t(stall), line_addr);
         int w = dc.probe(line_addr);
         tm_assert(w >= 0, "prefetched line not installed");
         dc.touch(line_addr, w);
@@ -220,6 +250,7 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now, int &way_out)
     }
 
     hStoreLineMisses.inc();
+    TM_TRACE_EVENT(tracer, Ev::DcacheStoreMiss, now, 0, line_addr);
     Cycles stall = 0;
     dc.allocate(line_addr, way, victimBuf);
     writeVictim(victimBuf);
@@ -238,6 +269,9 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now, int &way_out)
             biu.asyncWrite(victimBuf.lineAddr, dc.lineBytes(), done);
         stall = done - now;
         hStoreFetchStallCycles.inc(stall);
+        hStallStoreFetch.inc(stall);
+        TM_TRACE_EVENT(tracer, Ev::StallStoreFetch, now, uint32_t(stall),
+                       line_addr);
     }
     way_out = way;
     return stall;
@@ -348,7 +382,7 @@ Lsu::load(Opcode opc, Addr addr, Word aux, Cycles now)
     if (auto target = pf.onLoad(addr)) {
         Addr la_t = dc.lineAddrOf(*target);
         if (inflightIndex(la_t) < 0)
-            enqueuePrefetch(la_t);
+            enqueuePrefetch(la_t, now + r.stall);
     }
     tryIssuePrefetch(now + r.stall);
     return r;
@@ -394,7 +428,7 @@ Lsu::store(Opcode opc, Addr addr, Word value, Cycles now)
 void
 Lsu::softwarePrefetch(Addr addr, Cycles now)
 {
-    enqueuePrefetch(dc.lineAddrOf(addr));
+    enqueuePrefetch(dc.lineAddrOf(addr), now);
     tryIssuePrefetch(now);
 }
 

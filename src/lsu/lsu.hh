@@ -27,6 +27,11 @@
 namespace tm3270
 {
 
+namespace trace
+{
+class Tracer;
+}
+
 /** Policy parameters of the load/store unit. */
 struct LsuConfig
 {
@@ -90,6 +95,27 @@ class Lsu
     RegionPrefetcher &prefetcher() { return pf; }
     const LsuConfig &config() const { return cfg; }
 
+    /** Attach/detach the cycle-level event tracer (null: off). */
+    void setTracer(trace::Tracer *t) { tracer = t; }
+
+    /**
+     * Re-intern the per-cause stall-cycle counters into @p g. The
+     * processor binds its "cpu.stall" child group here so the LSU's
+     * data-side stall causes and the front end's instruction-fetch
+     * stalls land in one exhaustive breakdown whose counters sum to
+     * the run's stall_cycles total (gated by tests/test_trace.cc).
+     * Standalone LSUs keep the default binding to their own
+     * "lsu.stall" child group.
+     */
+    void
+    bindStallStats(StatGroup &g)
+    {
+        hStallDcacheMiss = g.handle("dcache_miss");
+        hStallPrefetchWait = g.handle("prefetch_wait");
+        hStallStoreFetch = g.handle("store_fetch");
+        hStallCopyback = g.handle("copyback");
+    }
+
     StatGroup stats{"lsu"};
 
   private:
@@ -99,6 +125,7 @@ class Lsu
     MainMemory &mem;
     MmioDevice *mmio;
     RegionPrefetcher pf;
+    trace::Tracer *tracer = nullptr;
 
     /** Cache write buffer: drain times of pending writes. */
     std::deque<Cycles> cwb;
@@ -168,6 +195,16 @@ class Lsu
     StatHandle hPrefetchInstalled = stats.handle("prefetch_installed");
     StatHandle hPrefetchUseful = stats.handle("prefetch_useful");
 
+    /** Fallback home of the per-cause stall counters for standalone
+     *  LSUs ("lsu.stall.*"); a Processor rebinds the handles into its
+     *  own "cpu.stall" group, leaving this one untouched (and so
+     *  invisible in dumps). */
+    StatGroup stallStatsSelf{"stall"};
+    StatHandle hStallDcacheMiss = stallStatsSelf.handle("dcache_miss");
+    StatHandle hStallPrefetchWait = stallStatsSelf.handle("prefetch_wait");
+    StatHandle hStallStoreFetch = stallStatsSelf.handle("store_fetch");
+    StatHandle hStallCopyback = stallStatsSelf.handle("copyback");
+
     bool isMmio(Addr addr) const;
     void writeVictim(const Victim &v);
     /** ensureLineFor*() leave the line resident and return its way
@@ -180,7 +217,7 @@ class Lsu
     Cycles accessStoreBytes(Addr addr, unsigned len, const uint8_t *data,
                             Cycles now);
     Cycles cwbPush(Cycles now);
-    void enqueuePrefetch(Addr line_addr);
+    void enqueuePrefetch(Addr line_addr, Cycles now);
     void servicePrefetches(Cycles now);
     void tryIssuePrefetch(Cycles now);
     void pfRecomputeNextEvent();

@@ -1,5 +1,7 @@
 #include "memory/biu.hh"
 
+#include "trace/trace.hh"
+
 namespace tm3270
 {
 
@@ -20,11 +22,13 @@ Cycles
 Biu::demandRead(Addr addr, unsigned bytes, Cycles now)
 {
     Cycles start = std::max(now, busBusyUntil);
-    Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes));
+    Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes, start));
     busBusyUntil = start + dur;
     hDemandReads.inc();
     hDemandReadBytes.inc(bytes);
     hBusWaitCycles.inc(start - now);
+    TM_TRACE_EVENT(tracer, trace::Ev::BiuDemandRead, start,
+                   uint32_t(dur), addr, bytes);
     return busBusyUntil;
 }
 
@@ -32,10 +36,12 @@ Cycles
 Biu::asyncWrite(Addr addr, unsigned bytes, Cycles now)
 {
     Cycles start = std::max(now, busBusyUntil);
-    Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes));
+    Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes, start));
     busBusyUntil = start + dur;
     hWrites.inc();
     hWriteBytes.inc(bytes);
+    TM_TRACE_EVENT(tracer, trace::Ev::BiuWrite, start, uint32_t(dur),
+                   addr, bytes);
     return busBusyUntil;
 }
 
@@ -44,10 +50,12 @@ Biu::prefetchRead(Addr addr, unsigned bytes, Cycles now)
 {
     if (busBusyUntil > now)
         return 0; // demand traffic has priority; retry later
-    Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes));
+    Cycles dur = toCpuCycles(mem.transactionCycles(addr, bytes, now));
     busBusyUntil = now + dur;
     hPrefetchReads.inc();
     hPrefetchReadBytes.inc(bytes);
+    TM_TRACE_EVENT(tracer, trace::Ev::BiuPrefetchRead, now,
+                   uint32_t(dur), addr, bytes);
     return busBusyUntil;
 }
 

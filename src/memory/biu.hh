@@ -18,6 +18,11 @@
 namespace tm3270
 {
 
+namespace trace
+{
+class Tracer;
+}
+
 /** Bus interface unit with a single shared off-chip bus. */
 class Biu
 {
@@ -56,12 +61,16 @@ class Biu
 
     void reset();
 
+    /** Attach/detach the cycle-level event tracer (null: off). */
+    void setTracer(trace::Tracer *t) { tracer = t; }
+
     StatGroup stats{"biu"};
 
   private:
     MainMemory &mem;
     uint32_t cpuMHz;
     Cycles busBusyUntil = 0;
+    trace::Tracer *tracer = nullptr;
 
     // Interned counters for the per-transaction hot path.
     StatHandle hDemandReads = stats.handle("demand_reads");

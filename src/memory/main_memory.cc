@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "support/logging.hh"
+#include "trace/trace.hh"
 
 namespace tm3270
 {
@@ -90,7 +91,7 @@ MainMemory::rowOf(Addr addr) const
 }
 
 Cycles
-MainMemory::transactionCycles(Addr addr, unsigned bytes)
+MainMemory::transactionCycles(Addr addr, unsigned bytes, Cycles cpu_now)
 {
     unsigned bank = bankOf(addr);
     int64_t row = rowOf(addr);
@@ -100,8 +101,12 @@ MainMemory::transactionCycles(Addr addr, unsigned bytes)
         cyc += (openRow[bank] >= 0 ? cfg.tRp : 0) + cfg.tRcd;
         openRow[bank] = row;
         hRowMisses.inc();
+        TM_TRACE_EVENT(tracer, trace::Ev::DramRowMiss, cpu_now, 0, addr,
+                       bank);
     } else {
         hRowHits.inc();
+        TM_TRACE_EVENT(tracer, trace::Ev::DramRowHit, cpu_now, 0, addr,
+                       bank);
     }
     cyc += (bytes + cfg.busBytes - 1) / cfg.busBytes;
     hTransactions.inc();

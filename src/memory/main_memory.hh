@@ -18,6 +18,11 @@
 namespace tm3270
 {
 
+namespace trace
+{
+class Tracer;
+}
+
 /** DDR SDRAM timing and geometry parameters. */
 struct DdrConfig
 {
@@ -68,12 +73,19 @@ class MainMemory
 
     /**
      * Timing for one burst transaction of @p bytes at @p addr, in
-     * memory clock cycles, updating the open-row state.
+     * memory clock cycles, updating the open-row state. @p cpu_now
+     * timestamps the bank-activity trace event when a tracer is
+     * attached (the DRAM has no clock of its own; the BIU passes the
+     * CPU cycle at which the bus grants the transaction).
      */
-    Cycles transactionCycles(Addr addr, unsigned bytes);
+    Cycles transactionCycles(Addr addr, unsigned bytes,
+                             Cycles cpu_now = 0);
 
     /** Close all rows (e.g. between benchmark runs). */
     void resetTiming();
+
+    /** Attach/detach the cycle-level event tracer (null: off). */
+    void setTracer(trace::Tracer *t) { tracer = t; }
 
     StatGroup stats{"mem"};
 
@@ -81,6 +93,7 @@ class MainMemory
     std::vector<uint8_t> store;
     DdrConfig cfg;
     std::vector<int64_t> openRow; ///< per bank; -1 = closed
+    trace::Tracer *tracer = nullptr;
 
     // Interned counters for the per-transaction hot path.
     StatHandle hRowMisses = stats.handle("row_misses");

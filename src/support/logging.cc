@@ -2,10 +2,31 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace tm3270
 {
+
+namespace
+{
+
+/** Guards warnSink and serializes every sink invocation. */
+std::mutex warnMutex;
+
+/** Empty: the default stderr sink is active. */
+WarnSink warnSink;
+
+} // namespace
+
+WarnSink
+setWarnSink(WarnSink sink)
+{
+    std::lock_guard<std::mutex> lock(warnMutex);
+    WarnSink prev = std::move(warnSink);
+    warnSink = std::move(sink);
+    return prev;
+}
 
 static std::string
 vstrfmt(const char *fmt, va_list ap)
@@ -69,7 +90,11 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", s.c_str());
+    std::lock_guard<std::mutex> lock(warnMutex);
+    if (warnSink)
+        warnSink(s);
+    else
+        std::fprintf(stderr, "warn: %s\n", s.c_str());
 }
 
 } // namespace tm3270

@@ -7,12 +7,17 @@
  * fatal()  — a user error (bad configuration, malformed program). Throws
  *            FatalError so embedding code and tests can recover.
  * warn()   — something suspicious that does not stop simulation.
+ *            Delivered through a pluggable, mutex-guarded sink so
+ *            warnings from parallel sweep workers never interleave
+ *            mid-line; the default sink writes "warn: ...\n" to
+ *            stderr, one whole line per call.
  */
 
 #ifndef TM3270_SUPPORT_LOGGING_HH
 #define TM3270_SUPPORT_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -38,9 +43,22 @@ std::string strfmt(const char *fmt, ...)
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Report a non-fatal warning on stderr. */
+/** Report a non-fatal warning through the installed warn sink. */
 void warn(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/** Receives one fully-formatted warning message (no trailing \n). */
+using WarnSink = std::function<void(const std::string &)>;
+
+/**
+ * Install @p sink as the warn() destination and return the previous
+ * sink (an empty function means the stderr default was active; pass
+ * it — or an empty WarnSink — back to restore). The swap and every
+ * sink invocation are serialized on one mutex, so concurrent warn()
+ * calls from sweep worker threads deliver whole messages in some
+ * order instead of interleaving on stderr.
+ */
+WarnSink setWarnSink(WarnSink sink);
 
 /** Implementation detail of tm_assert. */
 [[noreturn]] void panicAssertFail(const char *cond, const char *fmt, ...)

@@ -23,6 +23,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace tm3270
 {
@@ -73,7 +74,12 @@ class StatHandle
     stats_detail::Counter *c = nullptr;
 };
 
-/** A hierarchical group of named 64-bit counters. */
+/**
+ * A hierarchical group of named 64-bit counters. Child groups can be
+ * registered with addChild(); dump()/all() then emit the whole
+ * subtree in one pass, child counters prefixed with the child group
+ * name ("cpu.stall.icache" instead of a flat "cpu.stall_icache").
+ */
 class StatGroup
 {
   public:
@@ -114,42 +120,78 @@ class StatGroup
         return it == counters.end() ? 0 : it->second.value;
     }
 
-    /** Reset every counter to zero (touched counters stay visible). */
+    /** Reset every counter (children included) to zero (touched
+     *  counters stay visible). */
     void
     reset()
     {
         for (auto &kv : counters)
             kv.second.value = 0;
+        for (StatGroup *child : children)
+            child->reset();
     }
+
+    /**
+     * Register @p child as a sub-group: dump()/all() of this group
+     * then include the child's touched counters, name-prefixed. The
+     * child must outlive this group; ownership is not transferred.
+     */
+    void addChild(StatGroup *child) { children.push_back(child); }
 
     /** Group name used as a dump prefix. */
     const std::string &name() const { return groupName; }
 
-    /** All touched counters, sorted by name. */
+    /**
+     * All touched counters of this group and its children, sorted by
+     * name within each group. Own counters keep their bare name;
+     * child counters are prefixed "child.counter".
+     */
     std::map<std::string, uint64_t>
     all() const
     {
         std::map<std::string, uint64_t> out;
-        for (const auto &[k, c] : counters) {
-            if (c.touched)
-                out.emplace(k, c.value);
-        }
+        collectInto(out, "");
         return out;
     }
 
-    /** Write "group.counter value" lines to @p os. */
+    /**
+     * Write "group.counter value" lines to @p os: own counters first
+     * (sorted by name), then each child subtree in registration order
+     * as "group.child.counter value".
+     */
     void
     dump(std::ostream &os) const
     {
-        for (const auto &[k, c] : counters) {
-            if (c.touched)
-                os << groupName << '.' << k << ' ' << c.value << '\n';
-        }
+        dumpPrefixed(os, groupName);
     }
 
   private:
+    void
+    dumpPrefixed(std::ostream &os, const std::string &prefix) const
+    {
+        for (const auto &[k, c] : counters) {
+            if (c.touched)
+                os << prefix << '.' << k << ' ' << c.value << '\n';
+        }
+        for (const StatGroup *child : children)
+            child->dumpPrefixed(os, prefix + '.' + child->groupName);
+    }
+
+    void
+    collectInto(std::map<std::string, uint64_t> &out,
+                const std::string &prefix) const
+    {
+        for (const auto &[k, c] : counters) {
+            if (c.touched)
+                out.emplace(prefix + k, c.value);
+        }
+        for (const StatGroup *child : children)
+            child->collectInto(out, prefix + child->groupName + '.');
+    }
+
     std::string groupName;
     std::map<std::string, stats_detail::Counter> counters;
+    std::vector<StatGroup *> children;
 };
 
 } // namespace tm3270

@@ -1,0 +1,100 @@
+#include "trace/interval.hh"
+
+#include "support/logging.hh"
+
+namespace tm3270::trace
+{
+
+namespace
+{
+
+/** Per-interval deltas between two cumulative rows. */
+struct Delta
+{
+    uint64_t cycles, instrs, stall, iacc, imiss, loads, lmiss, pfUseful;
+
+    Delta(const SampleRow &cur, const SampleRow &prev)
+        : cycles(cur.cycle - prev.cycle),
+          instrs(cur.instrs - prev.instrs),
+          stall(cur.stallCycles - prev.stallCycles),
+          iacc(cur.icacheAccesses - prev.icacheAccesses),
+          imiss(cur.icacheMisses - prev.icacheMisses),
+          loads(cur.loads - prev.loads),
+          lmiss(cur.loadLineMisses - prev.loadLineMisses),
+          pfUseful(cur.prefetchUseful - prev.prefetchUseful)
+    {}
+
+    double ipc() const { return ratio(instrs, cycles); }
+    double stallFrac() const { return ratio(stall, cycles); }
+    double icacheMissRate() const { return ratio(imiss, iacc); }
+    double loadMissRate() const { return ratio(lmiss, loads); }
+    /** Fraction of would-be misses covered by useful prefetches. */
+    double
+    prefetchCoverage() const
+    {
+        return ratio(pfUseful, pfUseful + lmiss);
+    }
+
+    static double
+    ratio(uint64_t num, uint64_t den)
+    {
+        return den ? double(num) / double(den) : 0.0;
+    }
+};
+
+} // namespace
+
+void
+IntervalSampler::writeCsv(std::ostream &os) const
+{
+    os << "cycle,instrs,ops,stall_cycles,icache_accesses,icache_misses,"
+          "loads,load_line_misses,prefetch_installed,prefetch_useful,"
+          "ipc,stall_frac,icache_miss_rate,load_miss_rate,"
+          "prefetch_coverage\n";
+    SampleRow prev{};
+    for (const SampleRow &r : series) {
+        Delta d(r, prev);
+        os << strfmt("%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+                     "%.6f,%.6f,%.6f,%.6f,%.6f\n",
+                     (unsigned long long)r.cycle,
+                     (unsigned long long)r.instrs,
+                     (unsigned long long)r.ops,
+                     (unsigned long long)r.stallCycles,
+                     (unsigned long long)r.icacheAccesses,
+                     (unsigned long long)r.icacheMisses,
+                     (unsigned long long)r.loads,
+                     (unsigned long long)r.loadLineMisses,
+                     (unsigned long long)r.prefetchInstalled,
+                     (unsigned long long)r.prefetchUseful, d.ipc(),
+                     d.stallFrac(), d.icacheMissRate(), d.loadMissRate(),
+                     d.prefetchCoverage());
+        prev = r;
+    }
+}
+
+void
+IntervalSampler::writeJson(std::ostream &os) const
+{
+    os << "[\n";
+    SampleRow prev{};
+    for (size_t i = 0; i < series.size(); ++i) {
+        const SampleRow &r = series[i];
+        Delta d(r, prev);
+        os << strfmt("{\"cycle\": %llu, \"instrs\": %llu, \"ops\": %llu, "
+                     "\"stall_cycles\": %llu, \"ipc\": %.6f, "
+                     "\"stall_frac\": %.6f, \"icache_miss_rate\": %.6f, "
+                     "\"load_miss_rate\": %.6f, "
+                     "\"prefetch_coverage\": %.6f}%s\n",
+                     (unsigned long long)r.cycle,
+                     (unsigned long long)r.instrs,
+                     (unsigned long long)r.ops,
+                     (unsigned long long)r.stallCycles, d.ipc(),
+                     d.stallFrac(), d.icacheMissRate(), d.loadMissRate(),
+                     d.prefetchCoverage(),
+                     i + 1 < series.size() ? "," : "");
+        prev = r;
+    }
+    os << "]\n";
+}
+
+} // namespace tm3270::trace

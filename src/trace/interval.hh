@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Interval metrics sampler (DESIGN.md §9): snapshots IPC, cache miss
+ * rates and prefetch coverage every N simulated cycles into an
+ * in-memory time series, serializable as CSV or JSON.
+ *
+ * The sampler is pulled by the core's run loop: the processor calls
+ * maybeSample() once per issued instruction (guarded by the same
+ * null-pointer check as the tracer, so a detached sampler costs one
+ * never-taken branch), passing its live issue counters; cache and
+ * prefetch counts are read through interned StatHandles bound once at
+ * attach time. Rows store cumulative counts; the writers derive
+ * per-interval rates, so both the instantaneous and the cumulative
+ * view of a run can be reconstructed from one series.
+ */
+
+#ifndef TM3270_TRACE_INTERVAL_HH
+#define TM3270_TRACE_INTERVAL_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace tm3270::trace
+{
+
+/** Interned counters the sampler reads each snapshot. The processor
+ *  fills this from its own and its LSU's stat groups at attach time
+ *  (the trace library stays independent of the core). */
+struct SamplerSources
+{
+    StatHandle icacheAccesses;
+    StatHandle icacheMisses;
+    StatHandle loads;
+    StatHandle loadLineMisses;
+    StatHandle prefetchInstalled;
+    StatHandle prefetchUseful;
+};
+
+/** One cumulative snapshot at the end of an interval. */
+struct SampleRow
+{
+    Cycles cycle;
+    uint64_t instrs;
+    uint64_t ops;
+    uint64_t stallCycles;
+    uint64_t icacheAccesses;
+    uint64_t icacheMisses;
+    uint64_t loads;
+    uint64_t loadLineMisses;
+    uint64_t prefetchInstalled;
+    uint64_t prefetchUseful;
+};
+
+class IntervalSampler
+{
+  public:
+    /** Snapshot every @p period cycles (crossings of multiples of
+     *  the period; the default keeps short kernels to tens of rows). */
+    explicit IntervalSampler(Cycles period = 8192)
+        : period_(period ? period : 1), nextAt(period_)
+    {}
+
+    /** Bind the stat counters to read. Call before the run starts
+     *  (Processor::attachSampler does). */
+    void bind(const SamplerSources &s) { src = s; }
+
+    Cycles period() const { return period_; }
+    const std::vector<SampleRow> &rows() const { return series; }
+
+    /** Called per issued instruction by the core. Snapshots iff the
+     *  cycle counter crossed an interval boundary since the last row. */
+    void
+    maybeSample(Cycles now, uint64_t instrs, uint64_t ops,
+                Cycles stall_cycles)
+    {
+        if (now < nextAt)
+            return;
+        sample(now, instrs, ops, stall_cycles);
+        nextAt = (now / period_ + 1) * period_;
+    }
+
+    /** Record the final partial interval of a run (no-op when the
+     *  last row is already at @p now). */
+    void
+    finishRun(Cycles now, uint64_t instrs, uint64_t ops,
+              Cycles stall_cycles)
+    {
+        if (!series.empty() && series.back().cycle == now)
+            return;
+        sample(now, instrs, ops, stall_cycles);
+        nextAt = (now / period_ + 1) * period_;
+    }
+
+    /**
+     * Write the series as CSV: cumulative columns plus per-interval
+     * derived rates (ipc, stall fraction, miss rates, prefetch
+     * coverage = useful prefetches / (useful + load line misses)).
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** Write the series as a JSON array of row objects. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    void
+    sample(Cycles now, uint64_t instrs, uint64_t ops,
+           Cycles stall_cycles)
+    {
+        SampleRow r;
+        r.cycle = now;
+        r.instrs = instrs;
+        r.ops = ops;
+        r.stallCycles = stall_cycles;
+        r.icacheAccesses = get(src.icacheAccesses);
+        r.icacheMisses = get(src.icacheMisses);
+        r.loads = get(src.loads);
+        r.loadLineMisses = get(src.loadLineMisses);
+        r.prefetchInstalled = get(src.prefetchInstalled);
+        r.prefetchUseful = get(src.prefetchUseful);
+        series.push_back(r);
+    }
+
+    static uint64_t
+    get(const StatHandle &h)
+    {
+        return h.valid() ? h.get() : 0;
+    }
+
+    Cycles period_;
+    Cycles nextAt;
+    SamplerSources src;
+    std::vector<SampleRow> series;
+};
+
+} // namespace tm3270::trace
+
+#endif // TM3270_TRACE_INTERVAL_HH

@@ -1,0 +1,125 @@
+#include "trace/trace.hh"
+
+#include "support/logging.hh"
+
+namespace tm3270::trace
+{
+
+namespace
+{
+
+/** Trace-viewer track ("thread") ids. */
+enum Track : unsigned
+{
+    TrackCore = 1,
+    TrackLsu = 2,
+    TrackBiu = 3,
+    TrackDram = 4,
+    NumTracks
+};
+
+const char *const trackNames[NumTracks] = {nullptr, "core", "lsu", "biu",
+                                           "dram"};
+
+/** Chrome trace-event phase of an event kind. */
+enum class Phase : char
+{
+    Counter = 'C',  ///< numeric track (issue-slot occupancy)
+    Complete = 'X', ///< interval with ts + dur
+    Instant = 'i',
+};
+
+/** Static description of one event kind for the JSON writer. */
+struct KindInfo
+{
+    const char *name;
+    const char *cat;
+    Phase phase;
+    Track track;
+    /** JSON key of the aux argument (null: omit). */
+    const char *auxKey;
+};
+
+const KindInfo &
+kindInfo(Ev kind)
+{
+    static const KindInfo table[size_t(Ev::NumKinds)] = {
+        // clang-format off
+        {"issue_slots",          "issue",    Phase::Counter,  TrackCore, "ops"},
+        {"stall:icache",         "stall",    Phase::Complete, TrackCore, nullptr},
+        {"icache_miss",          "cache",    Phase::Instant,  TrackCore, nullptr},
+        {"stall:dcache_miss",    "stall",    Phase::Complete, TrackLsu,  nullptr},
+        {"stall:prefetch_wait",  "stall",    Phase::Complete, TrackLsu,  nullptr},
+        {"stall:store_fetch",    "stall",    Phase::Complete, TrackLsu,  nullptr},
+        {"stall:copyback",       "stall",    Phase::Complete, TrackLsu,  nullptr},
+        {"dcache_load_miss",     "cache",    Phase::Instant,  TrackLsu,  nullptr},
+        {"dcache_validity_miss", "cache",    Phase::Instant,  TrackLsu,  nullptr},
+        {"dcache_store_miss",    "cache",    Phase::Instant,  TrackLsu,  nullptr},
+        {"prefetch_request",     "prefetch", Phase::Instant,  TrackLsu,  nullptr},
+        {"prefetch_drop",        "prefetch", Phase::Instant,  TrackLsu,  "reason"},
+        {"prefetch_issue",       "prefetch", Phase::Complete, TrackLsu,  nullptr},
+        {"prefetch_install",     "prefetch", Phase::Instant,  TrackLsu,  nullptr},
+        {"prefetch_hit",         "prefetch", Phase::Instant,  TrackLsu,  nullptr},
+        {"biu_demand_read",      "bus",      Phase::Complete, TrackBiu,  "bytes"},
+        {"biu_write",            "bus",      Phase::Complete, TrackBiu,  "bytes"},
+        {"biu_prefetch_read",    "bus",      Phase::Complete, TrackBiu,  "bytes"},
+        {"dram_row_hit",         "dram",     Phase::Instant,  TrackDram, "bank"},
+        {"dram_row_miss",        "dram",     Phase::Instant,  TrackDram, "bank"},
+        // clang-format on
+    };
+    tm_assert(kind < Ev::NumKinds, "bad trace event kind %u",
+              unsigned(kind));
+    return table[size_t(kind)];
+}
+
+} // namespace
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    os << "{\n\"otherData\": {\"cycles_per_us\": 1, \"recorded\": " << total
+       << ", \"dropped\": " << dropped() << "},\n";
+    os << "\"traceEvents\": [\n";
+
+    // Track-name metadata so viewers label the rows.
+    for (unsigned t = TrackCore; t < NumTracks; ++t) {
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+              "\"tid\": "
+           << t << ", \"args\": {\"name\": \"" << trackNames[t] << "\"}},\n";
+    }
+
+    const size_t n = size();
+    for (size_t i = 0; i < n; ++i) {
+        const Event &e = at(i);
+        const KindInfo &ki = kindInfo(e.kind);
+        os << "{\"name\": \"" << ki.name << "\", \"cat\": \"" << ki.cat
+           << "\", \"ph\": \"" << char(ki.phase) << "\", \"ts\": " << e.ts
+           << ", \"pid\": 0, \"tid\": " << unsigned(ki.track);
+        if (ki.phase == Phase::Complete)
+            os << ", \"dur\": " << e.dur;
+        if (ki.phase == Phase::Instant)
+            os << ", \"s\": \"t\"";
+        // Args block: counters carry their value; others their
+        // address and any kind-specific argument.
+        bool wantAddr = ki.phase != Phase::Counter && e.addr != 0;
+        if (ki.phase == Phase::Counter) {
+            os << ", \"args\": {\"" << ki.auxKey << "\": " << e.aux << '}';
+        } else if (wantAddr || ki.auxKey) {
+            os << ", \"args\": {";
+            bool first = true;
+            if (wantAddr) {
+                os << "\"addr\": " << e.addr;
+                first = false;
+            }
+            if (ki.auxKey) {
+                os << (first ? "" : ", ") << '"' << ki.auxKey
+                   << "\": " << e.aux;
+            }
+            os << '}';
+        }
+        os << '}' << (i + 1 < n ? "," : "") << '\n';
+    }
+    os << "]\n}\n";
+}
+
+} // namespace tm3270::trace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Cycle-level event tracer (DESIGN.md §9).
+ *
+ * Units record timestamped architectural events — issue-slot
+ * occupancy, stall intervals with cause, cache misses, prefetch
+ * engine decisions, BIU transactions, DRAM bank activity — into a
+ * preallocated ring buffer. writeChromeJson() serializes the retained
+ * events as Chrome trace-event JSON, loadable in Perfetto or
+ * chrome://tracing (one simulated CPU cycle is mapped to one
+ * microsecond of trace time).
+ *
+ * Zero overhead when off: every instrumentation site goes through the
+ * TM_TRACE_EVENT macro below, which tests a unit-local `Tracer *`
+ * that is null by default. With tracing disabled the hot loops of the
+ * fast-path interpreter and the memory hierarchy pay one
+ * never-taken, predictable branch per site and execute no tracer
+ * code; architectural state and stat counters are never touched by
+ * the tracer at all, so enabling tracing cannot perturb simulation
+ * results (gated by tests/test_trace.cc and the bench_simrate
+ * overhead gate in scripts/verify.sh).
+ *
+ * Determinism: events carry only architectural values (cycles,
+ * addresses, byte counts), so two runs of the same program emit
+ * byte-identical JSON.
+ */
+
+#ifndef TM3270_TRACE_TRACE_HH
+#define TM3270_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace tm3270::trace
+{
+
+/** Event kinds. Names/tracks for the JSON writer live in trace.cc. */
+enum class Ev : uint8_t
+{
+    // Core front end / issue.
+    Issue,             ///< one VLIW instruction issued; aux = ops
+    StallIcache,       ///< dur = instruction-fetch stall cycles
+    IcacheMiss,        ///< addr = line address
+
+    // Load/store unit.
+    StallDcacheMiss,   ///< dur = demand-refill stall cycles
+    StallPrefetchWait, ///< dur = wait on an in-flight prefetch
+    StallStoreFetch,   ///< dur = fetch-on-write-miss stall cycles
+    StallCopyback,     ///< dur = cache-write-buffer-full stall cycles
+    DcacheLoadMiss,    ///< addr = line address
+    DcacheValidityMiss,///< allocated line, bytes invalid; addr = line
+    DcacheStoreMiss,   ///< addr = line address
+
+    // Prefetch engine.
+    PrefetchRequest,   ///< accepted into the queue; addr = line
+    PrefetchDrop,      ///< rejected; aux: 0 resident/pending, 1 full
+    PrefetchIssue,     ///< on the bus; addr = line, dur = refill time
+    PrefetchInstall,   ///< line installed; addr = line
+    PrefetchHit,       ///< demand access hit a prefetched line
+
+    // Bus interface unit (X events: ts = bus grant, dur = occupancy).
+    BiuDemandRead,     ///< addr, aux = bytes
+    BiuWrite,          ///< copy-back drain; addr, aux = bytes
+    BiuPrefetchRead,   ///< addr, aux = bytes
+
+    // DRAM bank activity (ts = CPU cycle of the transaction start).
+    DramRowHit,        ///< addr, aux = bank
+    DramRowMiss,       ///< addr, aux = bank
+
+    NumKinds
+};
+
+/** One ring-buffer record; all fields are architectural values. */
+struct Event
+{
+    Cycles ts;     ///< CPU cycle of the event (or interval start)
+    uint32_t dur;  ///< interval length in cycles (0 for instants)
+    uint32_t addr; ///< address argument (0 when unused)
+    uint32_t aux;  ///< kind-specific argument (0 when unused)
+    Ev kind;
+};
+
+/**
+ * Fixed-capacity event recorder. The buffer is allocated once at
+ * construction; when it fills, the oldest events are overwritten
+ * (most-recent-window semantics) and dropped() reports how many were
+ * lost, so a bounded trace of an arbitrarily long run is always
+ * available without allocation in the recording path.
+ */
+class Tracer
+{
+  public:
+    /** @p capacity events are retained (default 256 Ki ≈ 6 MB). */
+    explicit Tracer(size_t capacity = size_t(1) << 18)
+        : ring(capacity ? capacity : 1)
+    {}
+
+    /** Record one event. Hot when tracing is on: one store + index
+     *  wrap, no allocation, no branches on event kind. */
+    void
+    record(Ev kind, Cycles ts, uint32_t dur = 0, uint32_t addr = 0,
+           uint32_t aux = 0)
+    {
+        ring[head] = {ts, dur, addr, aux, kind};
+        if (++head == ring.size())
+            head = 0;
+        ++total;
+    }
+
+    size_t capacity() const { return ring.size(); }
+    /** Events recorded over the tracer's lifetime (includes dropped). */
+    uint64_t recorded() const { return total; }
+    /** Events overwritten because the ring was full. */
+    uint64_t
+    dropped() const
+    {
+        return total > ring.size() ? total - ring.size() : 0;
+    }
+    /** Events currently retained. */
+    size_t
+    size() const
+    {
+        return total < ring.size() ? size_t(total) : ring.size();
+    }
+
+    /** The @p i-th oldest retained event (0 <= i < size()). */
+    const Event &
+    at(size_t i) const
+    {
+        size_t oldest = total <= ring.size() ? 0 : head;
+        size_t idx = oldest + i;
+        if (idx >= ring.size())
+            idx -= ring.size();
+        return ring[idx];
+    }
+
+    /** Forget all events (capacity is kept). */
+    void
+    clear()
+    {
+        head = 0;
+        total = 0;
+    }
+
+    /**
+     * Serialize the retained events as Chrome trace-event JSON
+     * ({"traceEvents": [...]}), oldest first, with thread-name
+     * metadata for the core/LSU/bus/DRAM tracks and the drop count
+     * under "otherData". Deterministic: depends only on the events.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    std::vector<Event> ring;
+    size_t head = 0;    ///< next write position
+    uint64_t total = 0; ///< lifetime event count
+};
+
+/**
+ * Instrumentation-site macro: record an event iff a tracer is
+ * attached. @p tracer is a `Tracer *` (null = tracing off); the
+ * remaining arguments are forwarded to Tracer::record(). Expands to a
+ * single never-taken-by-default branch so that instrumented hot loops
+ * are unchanged when tracing is off.
+ */
+#define TM_TRACE_EVENT(tracer, ...)                                         \
+    do {                                                                    \
+        if ((tracer) != nullptr) [[unlikely]]                               \
+            (tracer)->record(__VA_ARGS__);                                  \
+    } while (0)
+
+} // namespace tm3270::trace
+
+#endif // TM3270_TRACE_TRACE_HH

@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/bitops.hh"
 #include "support/bitstream.hh"
@@ -163,6 +166,90 @@ TEST(Stats, Counters)
     g.reset();
     EXPECT_EQ(g.get("x"), 0u);
     EXPECT_EQ(g.get("y"), 0u);
+}
+
+TEST(Stats, ChildGroupsPrefixDumpAndAll)
+{
+    StatGroup parent("cpu");
+    StatGroup child("stall");
+    parent.addChild(&child);
+    parent.inc("cycles", 10);
+    child.inc("icache", 3);
+    child.inc("dcache_miss", 4);
+
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_EQ(os.str(), "cpu.cycles 10\n"
+                        "cpu.stall.dcache_miss 4\n"
+                        "cpu.stall.icache 3\n");
+
+    auto all = parent.all();
+    EXPECT_EQ(all.at("cycles"), 10u);
+    EXPECT_EQ(all.at("stall.icache"), 3u);
+    EXPECT_EQ(all.at("stall.dcache_miss"), 4u);
+
+    // reset() recurses into children; handles stay valid.
+    StatHandle h = child.handle("icache");
+    parent.reset();
+    EXPECT_EQ(child.get("icache"), 0u);
+    h.inc(7);
+    EXPECT_EQ(parent.all().at("stall.icache"), 7u);
+}
+
+TEST(Stats, UntouchedChildGroupStaysInvisible)
+{
+    StatGroup parent("lsu");
+    StatGroup child("stall");
+    parent.addChild(&child);
+    StatHandle h = child.handle("copyback"); // interned, never touched
+    (void)h;
+    parent.inc("loads", 2);
+
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_EQ(os.str(), "lsu.loads 2\n");
+    EXPECT_EQ(parent.all().count("stall.copyback"), 0u);
+}
+
+TEST(Logging, WarnSinkCapturesAndRestores)
+{
+    std::vector<std::string> got;
+    WarnSink prev = setWarnSink(
+        [&](const std::string &m) { got.push_back(m); });
+    warn("answer %d", 42);
+    warn("%s", "plain");
+    WarnSink mine = setWarnSink(std::move(prev)); // restore default
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], "answer 42");
+    EXPECT_EQ(got[1], "plain");
+    EXPECT_TRUE(bool(mine)); // the sink we installed came back out
+}
+
+TEST(Logging, WarnSinkSerializesConcurrentWarnings)
+{
+    std::vector<std::string> got;
+    WarnSink prev = setWarnSink(
+        [&](const std::string &m) { got.push_back(m); });
+
+    constexpr int kThreads = 4, kPerThread = 50;
+    {
+        std::vector<std::jthread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([t] {
+                for (int i = 0; i < kPerThread; ++i)
+                    warn("t%d-%d", t, i);
+            });
+        }
+    }
+    setWarnSink(std::move(prev));
+
+    // The sink runs under the warn mutex: every message arrives whole
+    // (the unsynchronized vector would be corrupt otherwise).
+    ASSERT_EQ(got.size(), size_t(kThreads * kPerThread));
+    for (const std::string &m : got) {
+        EXPECT_EQ(m.front(), 't');
+        EXPECT_NE(m.find('-'), std::string::npos);
+    }
 }
 
 TEST(Logging, FatalThrows)

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the observability subsystem (DESIGN.md §9): tracer ring
+ * buffer semantics, Chrome-JSON determinism, the interval sampler,
+ * per-job trace files from the sweep driver, and the two invariants
+ * the subsystem is built around:
+ *
+ *  - attribution: the per-cause cpu.stall.* counters partition
+ *    stall_cycles exactly, on every Table 5 workload x configuration
+ *    A-D cell (plus the prefetch-heavy motion-estimation kernel);
+ *  - observation only: attaching a tracer and a sampler changes no
+ *    architectural result and no stat counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/sweep.hh"
+#include "trace/interval.hh"
+#include "trace/trace.hh"
+#include "workloads/motion_est.hh"
+
+using namespace tm3270;
+using namespace tm3270::driver;
+using namespace tm3270::workloads;
+
+namespace
+{
+
+/** Sum of the per-cause stall counters of @p cpu ("stall.*" keys). */
+uint64_t
+stallSum(const StatGroup &cpu)
+{
+    uint64_t sum = 0;
+    for (const auto &[k, v] : cpu.all()) {
+        if (k.rfind("stall.", 0) == 0)
+            sum += v;
+    }
+    return sum;
+}
+
+/** Run motion estimation (all TM3270 features, region prefetcher on)
+ *  with optional instrumentation attached; returns the RunResult. */
+RunResult
+runMotionEst(System &sys, trace::Tracer *t, trace::IntervalSampler *s)
+{
+    tir::CompiledProgram cp = tir::compile(
+        buildMotionEstimation({true, true, true}), tm3270Config());
+    stageMotionEstimation(sys, 99);
+    if (t)
+        sys.processor.attachTracer(t);
+    if (s)
+        sys.processor.attachSampler(s);
+    RunResult r = sys.runProgram(cp.encoded);
+    std::string err;
+    EXPECT_TRUE(r.halted && verifyMotionEstimation(sys, 99, err)) << err;
+    return r;
+}
+
+/** Full stat dump of @p sys, same group order as the sweep driver. */
+std::string
+dumpAll(System &sys)
+{
+    const StatGroup *groups[] = {
+        &sys.processor.stats,
+        &sys.processor.lsu().stats,
+        &sys.processor.lsu().dcache().stats,
+        &sys.processor.icache().stats,
+        &sys.processor.biu().stats,
+        &sys.memory.stats,
+    };
+    std::ostringstream os;
+    for (const StatGroup *g : groups)
+        g->dump(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(TracerRing, WrapKeepsMostRecentWindow)
+{
+    trace::Tracer t(4);
+    EXPECT_EQ(t.capacity(), 4u);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+
+    for (uint32_t i = 0; i < 10; ++i)
+        t.record(trace::Ev::Issue, Cycles(i), 0, 0, i);
+
+    EXPECT_EQ(t.recorded(), 10u);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.dropped(), 6u);
+    // The retained window is the most recent events, oldest first.
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(t.at(i).ts, Cycles(6 + i));
+        EXPECT_EQ(t.at(i).aux, uint32_t(6 + i));
+    }
+
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.recorded(), 0u);
+    t.record(trace::Ev::IcacheMiss, 123, 0, 0x80, 0);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.at(0).ts, 123u);
+}
+
+TEST(TracerRing, PartialFillPreservesOrder)
+{
+    trace::Tracer t(8);
+    for (uint32_t i = 0; i < 3; ++i)
+        t.record(trace::Ev::DramRowHit, Cycles(10 * i), 0, i, 0);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.dropped(), 0u);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(t.at(i).ts, Cycles(10 * i));
+}
+
+TEST(TraceJson, ByteIdenticalAcrossRuns)
+{
+    std::string json[2];
+    RunResult runs[2];
+    for (int i = 0; i < 2; ++i) {
+        System sys(tm3270Config());
+        trace::Tracer t;
+        runs[i] = runMotionEst(sys, &t, nullptr);
+        EXPECT_GT(t.recorded(), 0u);
+        std::ostringstream os;
+        t.writeChromeJson(os);
+        json[i] = os.str();
+    }
+    EXPECT_EQ(runs[0].cycles, runs[1].cycles);
+    ASSERT_EQ(json[0], json[1]);
+    // Loose shape checks; scripts/verify.sh parses the file for real.
+    EXPECT_EQ(json[0].front(), '{');
+    EXPECT_NE(json[0].find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json[0].find("\"prefetch_install\""), std::string::npos);
+    EXPECT_NE(json[0].find("\"issue_slots\""), std::string::npos);
+}
+
+TEST(TraceObservation, TracedRunChangesNoStatsOrResults)
+{
+    System plain(tm3270Config());
+    RunResult r0 = runMotionEst(plain, nullptr, nullptr);
+
+    System traced(tm3270Config());
+    trace::Tracer t;
+    trace::IntervalSampler s(1024);
+    RunResult r1 = runMotionEst(traced, &t, &s);
+
+    EXPECT_EQ(r0.cycles, r1.cycles);
+    EXPECT_EQ(r0.instrs, r1.instrs);
+    EXPECT_EQ(r0.ops, r1.ops);
+    EXPECT_EQ(r0.stallCycles, r1.stallCycles);
+    EXPECT_EQ(dumpAll(plain), dumpAll(traced));
+    EXPECT_GT(t.recorded(), 0u);
+    EXPECT_FALSE(s.rows().empty());
+}
+
+TEST(StallAttribution, SumsToStallCyclesAcrossSuiteAndConfigs)
+{
+    std::vector<SimJob> jobs;
+    for (const Workload &w : table5Suite()) {
+        for (char c : {'A', 'B', 'C', 'D'})
+            jobs.push_back(makeJob(w, c));
+    }
+    SweepDriver drv;
+    SweepReport rep = drv.run(jobs);
+    ASSERT_EQ(rep.failed, 0u);
+    for (const JobResult &jr : rep.results) {
+        uint64_t sum = 0;
+        for (const auto &[k, v] : jr.stats) {
+            if (k.rfind("cpu.stall.", 0) == 0)
+                sum += v;
+        }
+        EXPECT_EQ(sum, jr.run.stallCycles)
+            << jr.tag << ": per-cause stall counters must partition "
+            << "stall_cycles exactly";
+    }
+}
+
+TEST(StallAttribution, CoversPrefetchWaitPath)
+{
+    // Motion estimation with the region prefetcher exercises the
+    // prefetch-wait and copyback causes the Table 5 sweep may miss.
+    System sys(tm3270Config());
+    RunResult r = runMotionEst(sys, nullptr, nullptr);
+    EXPECT_EQ(stallSum(sys.processor.stats), r.stallCycles);
+}
+
+TEST(IntervalSampler, RowsCoverRunAndStayMonotonic)
+{
+    System sys(tm3270Config());
+    trace::IntervalSampler s(512);
+    RunResult r = runMotionEst(sys, nullptr, &s);
+
+    const auto &rows = s.rows();
+    ASSERT_GT(rows.size(), 2u);
+    // finishRun() records the final partial interval.
+    EXPECT_EQ(rows.back().cycle, r.cycles);
+    EXPECT_EQ(rows.back().instrs, r.instrs);
+    EXPECT_EQ(rows.back().stallCycles, r.stallCycles);
+    for (size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GT(rows[i].cycle, rows[i - 1].cycle);
+        EXPECT_GE(rows[i].instrs, rows[i - 1].instrs);
+        EXPECT_GE(rows[i].loads, rows[i - 1].loads);
+        EXPECT_GE(rows[i].icacheAccesses, rows[i - 1].icacheAccesses);
+    }
+
+    std::ostringstream csv;
+    s.writeCsv(csv);
+    std::istringstream in(csv.str());
+    std::string line;
+    size_t lines = 0;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, rows.size() + 1); // header + one line per row
+
+    std::ostringstream js;
+    s.writeJson(js);
+    EXPECT_EQ(js.str().front(), '[');
+}
+
+TEST(SweepTrace, TmTraceEnvWritesPerJobFiles)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "tm_trace_test";
+    fs::remove_all(dir);
+    ASSERT_EQ(setenv("TM_TRACE", dir.string().c_str(), 1), 0);
+    ASSERT_EQ(setenv("TM_TRACE_INTERVAL", "1024", 1), 0);
+
+    std::vector<SimJob> jobs = {makeJob(memcpyWorkload(), 'D'),
+                                makeJob(filterWorkload(), 'A')};
+    SweepDriver drv(1);
+    SweepReport rep = drv.run(jobs);
+
+    unsetenv("TM_TRACE");
+    unsetenv("TM_TRACE_INTERVAL");
+
+    ASSERT_EQ(rep.failed, 0u);
+    for (const char *base : {"memcpy_D", "filter_A"}) {
+        fs::path tj = dir / (std::string(base) + ".trace.json");
+        fs::path ic = dir / (std::string(base) + ".intervals.csv");
+        EXPECT_TRUE(fs::exists(tj)) << tj;
+        EXPECT_TRUE(fs::exists(ic)) << ic;
+        EXPECT_GT(fs::file_size(tj), 0u);
+        EXPECT_GT(fs::file_size(ic), 0u);
+    }
+    // Trace files must not perturb the simulated results.
+    std::vector<SimJob> again = {makeJob(memcpyWorkload(), 'D'),
+                                 makeJob(filterWorkload(), 'A')};
+    SweepReport rep2 = SweepDriver(1).run(again);
+    ASSERT_EQ(rep2.failed, 0u);
+    for (size_t i = 0; i < rep.results.size(); ++i) {
+        EXPECT_EQ(rep.results[i].statDump, rep2.results[i].statDump)
+            << rep.results[i].tag;
+    }
+    fs::remove_all(dir);
+}

@@ -98,8 +98,9 @@ main()
             const driver::JobResult &jr = rep.results[vi * ncols + col];
             const driver::JobResult &base = rep.results[col];
             if (!jr.ok) {
-                std::fprintf(stderr, "\nFAILED %s: %s\n", jr.tag.c_str(),
-                             jr.error.c_str());
+                // Through the WarnSink, so failure reports stay
+                // serialized with any sweep-worker warnings.
+                warn("FAILED %s: %s", jr.tag.c_str(), jr.error.c_str());
                 ret = 1;
                 continue;
             }

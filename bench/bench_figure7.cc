@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "driver/sweep.hh"
+#include "support/logging.hh"
 
 using namespace tm3270;
 using namespace tm3270::workloads;
@@ -60,8 +61,9 @@ main()
         for (unsigned i = 0; i < 4; ++i) {
             const driver::JobResult &jr = rep.results[wi * 4 + i];
             if (!jr.ok) {
-                std::fprintf(stderr, "FAILED %s: %s\n", jr.tag.c_str(),
-                             jr.error.c_str());
+                // Through the WarnSink, so failure reports stay
+                // serialized with any sweep-worker warnings.
+                warn("FAILED %s: %s", jr.tag.c_str(), jr.error.c_str());
                 ret = 1;
                 continue;
             }

@@ -22,6 +22,7 @@
 #include <cstdio>
 
 #include "driver/sweep.hh"
+#include "support/logging.hh"
 #include "tir/builder.hh"
 
 using namespace tm3270;
@@ -157,8 +158,9 @@ main()
     for (size_t i = 0; i < std::size(modes); ++i) {
         const driver::JobResult &jr = rep.results[i];
         if (!jr.ok) {
-            std::fprintf(stderr, "FAILED %s: %s\n", jr.tag.c_str(),
-                         jr.error.c_str());
+            // Through the WarnSink, so failure reports stay
+            // serialized with any sweep-worker warnings.
+            warn("FAILED %s: %s", jr.tag.c_str(), jr.error.c_str());
             ret = 1;
             continue;
         }

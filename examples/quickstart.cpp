@@ -91,8 +91,10 @@ part2_tir()
     uint8_t out0, out255;
     sys.readBytes(0x3000 + 4, &out0, 1);
     sys.readBytes(0x3000 + 255, &out255, 1);
-    std::printf("quadavg output bytes: [4]=%u [255]=%u (both 128)\n\n",
-                out0, out255);
+    std::printf("quadavg output bytes: [4]=%u [255]=%u (both 128), "
+                "%llu cycles\n\n",
+                out0, out255,
+                static_cast<unsigned long long>(r.cycles));
 }
 
 void

@@ -1,0 +1,1017 @@
+#!/usr/bin/env python3
+"""tm-lint: project invariant checker for the tm3270 simulator.
+
+Mechanizes the determinism, stat-accounting, and thread-safety rules
+that every performance PR so far had to prove by hand (DESIGN.md §10).
+Runs as the first stage of scripts/verify.sh; exits non-zero on any
+finding.
+
+Rules
+-----
+  D1  Determinism sources in src/:
+      - any use of an unordered associative container must carry an
+        inline ``tm-lint: allow(D1)`` annotation justifying that it is
+        lookup-only (never iterated for output); iterating one
+        (range-for, .begin()/.end()) is always an error;
+      - pointer-keyed ordered containers (std::map<T*, ...>,
+        std::set<T*>) are an error: their iteration order is the
+        allocator's, not the program's;
+      - rand()/srand()/std::random_device/time()/system_clock/
+        gettimeofday/clock() are errors anywhere in src/ — simulation
+        randomness must come from seeded engines, timestamps from the
+        cycle counter.
+  D2  TM_TRACE_EVENT argument lists must be side-effect-free: no
+      ++/--, no assignment operators, no calls to mutating methods
+      (inc/set/push*/pop*/insert/erase/clear/emplace*). Tracing-off
+      must stay observation-only; the macro does not evaluate its
+      arguments when the tracer is null.
+  S1  Stat accounting is structurally complete:
+      - every counter name registered in src/ (StatGroup::handle/inc/
+        set string literals, plus the fu_* FU-class family) must
+        appear as a leaf name in tests/golden/golden_stats.txt or be
+        explicitly allowlisted as registered-but-unexercised;
+      - the cpu.stall.* breakdown is closed: the set of stall-child
+        counters registered on stall groups must equal the set binding
+        through Lsu::bindStallStats plus the front end's "icache", and
+        must cover every cpu.stall.* leaf in the golden file.
+  T1  No hidden shared mutable state in translation units linked into
+      the sweep driver's worker path (all of src/): namespace-scope or
+      function-local ``static`` variables and anonymous-namespace
+      variables must be const/constexpr unless annotated
+      ``tm-lint: allow(T1)`` (e.g. the mutex-guarded WarnSink pair in
+      support/logging.cc).
+  H1  No string-keyed StatGroup operations (handle/inc/set/get with a
+      string-literal key) inside tick()/step() hot functions —
+      interned StatHandles only.
+
+Modes
+-----
+The checker is tokenizer-based and self-contained: it lexes C++ into
+comments/strings/identifiers/punctuation with exact line numbers and
+pattern-matches on the token stream, so it runs in any environment
+with python3. When python bindings for libclang are importable AND
+build/compile_commands.json exists, ``--mode auto`` (the default)
+additionally runs an AST-backed pass for D1/T1 (variable declarations
+with static storage duration, calls to banned functions); AST findings
+are additive — the tokenizer verdict is never suppressed. ``--mode
+tokenize`` forces the portable path (used by --selftest so the fixture
+gate is environment-independent).
+
+Suppressions
+------------
+An inline comment ``// tm-lint: allow(RULE[,RULE]) <reason>`` on the
+offending line or the line directly above suppresses those rules for
+that line; ``// tm-lint: allow-file(RULE) <reason>`` near the top of a
+file suppresses a rule for the whole file. Every annotation is the
+allowlist mechanism required by DESIGN.md §10 — the reason text is
+mandatory by convention and enforced in review, not by the tool.
+
+Usage
+-----
+  scripts/tm_lint.py                  lint src/ against the golden file
+  scripts/tm_lint.py --selftest       run the fixture suite under
+                                      tests/lint_fixtures/ (each MUST
+                                      be flagged with its declared
+                                      rules; clean fixtures MUST pass)
+  scripts/tm_lint.py --list-rules     print rule IDs and summaries
+  scripts/tm_lint.py FILE...          lint specific files (S1's
+                                      cross-file closure checks only
+                                      run on full-tree scans)
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+RULES = {
+    "D1": "no nondeterminism sources (unordered iteration, pointer-keyed "
+          "ordering, rand/time) in src/",
+    "D2": "TM_TRACE_EVENT arguments must be side-effect-free",
+    "S1": "every registered stat counter is golden-covered; cpu.stall.* "
+          "closed under Lsu::bindStallStats",
+    "T1": "no non-const static / anonymous-namespace mutable state in "
+          "worker-path translation units",
+    "H1": "no string-keyed StatGroup lookups inside tick/step hot "
+          "functions",
+}
+
+# S1: counters that are registered in src/ but not exercised by any
+# golden workload/config. Each entry documents why golden coverage is
+# (currently) impossible; removing an entry is how you demand coverage.
+S1_REGISTERED_UNEXERCISED = {
+    # LSU paths no Table-5 kernel reaches with the golden configs:
+    "load_validity_misses":  "needs a load hitting an allocated line "
+                             "with the requested bytes invalid",
+    "store_line_crossings":  "kernels issue aligned stores only",
+    "cwb_full_stalls":       "golden configs drain the 8-deep CWB "
+                             "faster than the kernels fill it",
+    "cwb_full_stall_cycles": "same condition as cwb_full_stalls",
+    # Stall causes that exist as registrations but never fire in the
+    # golden suite:
+    "copyback":              "cache-write-buffer-full stall never "
+                             "taken by the golden suite (see "
+                             "cwb_full_stalls)",
+    # FU classes no golden kernel issues ops on:
+    "fu_falu":               "no float kernels in the golden suite",
+    "fu_fcomp":              "no float kernels in the golden suite",
+    "fu_ftough":             "no float kernels in the golden suite",
+    "fu_superld":            "golden kernels use plain loads",
+    "fu_cabac":              "CABAC golden runs use the table path, "
+                             "not the FU-class counter",
+    "fu_none":               "sentinel for decode errors; counting it "
+                             "would be a bug",
+}
+
+# T1 scans every TU in src/ because every subsystem library is linked
+# into the sweep driver's workers (src/driver pulls in core, lsu,
+# cache, memory, workloads, ...). If a library ever becomes
+# main-thread-only, scope the scan here.
+BANNED_CALLS_D1 = {
+    "rand", "srand", "random_device", "gettimeofday", "system_clock",
+}
+MUTATOR_CALLS_D2 = {
+    "inc", "set", "push", "push_back", "push_front", "pop", "pop_back",
+    "pop_front", "insert", "erase", "clear", "emplace", "emplace_back",
+    "emplace_front", "reset", "record",
+}
+UNORDERED_TYPES = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+}
+ORDERED_ASSOC_TYPES = {"map", "set", "multimap", "multiset"}
+ASSIGN_OPS = {
+    "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+}
+HOT_FUNCTIONS = {"tick", "step"}
+STAT_STRING_METHODS = {"handle", "inc", "set", "get"}
+
+
+# --------------------------------------------------------------------
+# Tokenizer
+# --------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>//[^\n]*|/\*.*?\*/)
+    | (?P<rawstring>R"(?P<delim>[^()\s\\]{0,16})\(.*?\)(?P=delim)")
+    | (?P<string>"(?:\\.|[^"\\\n])*")
+    | (?P<char>'(?:\\.|[^'\\\n])+')
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<num>\.?\d(?:[eEpP][+-]|[\w.])*)
+    | (?P<punct><<=|>>=|\.\.\.|::|\+\+|--|->\*|->|<<|>>|&&|\|\||
+        [-+*/%&|^!=<>]=|[{}()\[\];,<>=+\-*/%&|^~!?.:#@\\])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"Tok({self.kind},{self.text!r},{self.line})"
+
+
+def lex(text):
+    """Tokenize C++ source. Returns (code_tokens, comments) where
+    comments is a list of (line, text) and code_tokens excludes
+    comments but keeps strings/chars as single tokens."""
+    code, comments = [], []
+    for m in TOKEN_RE.finditer(text):
+        kind = m.lastgroup
+        if kind == "delim":
+            continue
+        tok_text = m.group(0)
+        line = text.count("\n", 0, m.start()) + 1
+        if kind == "comment":
+            comments.append((line, tok_text))
+            # Multi-line block comments still only annotate their first
+            # line; allow() placement conventions use line comments.
+        else:
+            if kind == "rawstring":
+                kind = "string"
+            code.append(Tok(kind, tok_text, line))
+    return code, comments
+
+
+ALLOW_RE = re.compile(r"tm-lint:\s*allow\(([A-Z0-9,\s]+)\)")
+ALLOW_FILE_RE = re.compile(r"tm-lint:\s*allow-file\(([A-Z0-9,\s]+)\)")
+FIXTURE_EXPECT_RE = re.compile(
+    r"tm-lint-fixture:\s*expect\s+([A-Z0-9\s,]+?)\s*$", re.MULTILINE)
+
+
+def parse_suppressions(comments):
+    """Map rule -> set of suppressed lines; file-wide rules separately.
+
+    An annotation suppresses its own line, every following line of the
+    same contiguous comment run, and the first code line after the
+    run — so a multi-line justification comment above the offending
+    declaration covers it."""
+    comment_lines = set()
+    for line, text in comments:
+        comment_lines.update(range(line, line + text.count("\n") + 1))
+    by_line = {}
+    file_wide = set()
+    for line, text in comments:
+        for m in ALLOW_RE.finditer(text):
+            last = line + text.count("\n")
+            while last + 1 in comment_lines:
+                last += 1
+            covered = set(range(line, last + 2))
+            for rule in re.split(r"[,\s]+", m.group(1).strip()):
+                if rule:
+                    by_line.setdefault(rule, set()).update(covered)
+        for m in ALLOW_FILE_RE.finditer(text):
+            for rule in re.split(r"[,\s]+", m.group(1).strip()):
+                if rule:
+                    file_wide.add(rule)
+    return by_line, file_wide
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "msg")
+
+    def __init__(self, path, line, rule, msg):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def match_paren(toks, i):
+    """toks[i] is '('; return index of matching ')' (or len(toks))."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks)
+
+
+def match_brace(toks, i):
+    """toks[i] is '{'; return index of matching '}' (or len(toks))."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks)
+
+
+def match_angle(toks, i):
+    """toks[i] is '<' opening a template argument list; return the
+    index of the matching '>' or len(toks). Tracks (), [], {} and
+    nested <> and gives up at ';' (not a template after all)."""
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if t in "([{":
+            j = {"(": match_paren, "[": match_bracket,
+                 "{": match_brace}[t](toks, i)
+            i = j
+        elif t == "<":
+            depth += 1
+        elif t in (">", ">>"):
+            depth -= 1 if t == ">" else 2
+            if depth <= 0:
+                return i
+        elif t == ";":
+            return len(toks)
+        i += 1
+    return len(toks)
+
+
+def match_bracket(toks, i):
+    depth = 0
+    while i < len(toks):
+        t = toks[i].text
+        if t == "[":
+            depth += 1
+        elif t == "]":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(toks)
+
+
+# --------------------------------------------------------------------
+# Per-file checks (D1, D2, T1, H1 + S1 registration collection)
+# --------------------------------------------------------------------
+
+class FileLint:
+    def __init__(self, path, text):
+        self.path = path
+        self.text = text
+        self.toks, comments = lex(text)
+        self.suppress, self.suppress_file = parse_suppressions(comments)
+        self.findings = []
+        # S1 collection results (consumed by the tree-level check):
+        self.registered_stats = []      # (name, line)
+        self.stall_registrations = []   # (name, line, via_bind)
+
+    def flag(self, line, rule, msg):
+        if rule in self.suppress_file:
+            return
+        if line in self.suppress.get(rule, ()):
+            return
+        self.findings.append(Finding(self.path, line, rule, msg))
+
+    def run(self):
+        self.check_d1()
+        self.check_d2()
+        self.check_t1()
+        self.check_h1()
+        self.collect_s1()
+        return self.findings
+
+    # ---------------- D1 ----------------
+
+    def check_d1(self):
+        toks = self.toks
+        unordered_vars = set()
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            prv = toks[i - 1].text if i > 0 else ""
+            if t.text in UNORDERED_TYPES and nxt == "<":
+                self.flag(
+                    t.line, "D1",
+                    f"use of std::{t.text}: unordered containers are "
+                    "lookup-only in this codebase; annotate "
+                    "'// tm-lint: allow(D1) <why it is never iterated "
+                    "for output>' if that holds")
+                # Track the declared variable name so iteration over it
+                # is flagged even when the declaration was allowlisted.
+                end = match_angle(toks, i + 1)
+                j = end + 1
+                # Skip references/pointers and nested name pieces.
+                while j < len(toks) and toks[j].text in ("&", "*", "::"):
+                    j += 1
+                if j < len(toks) and toks[j].kind == "id":
+                    unordered_vars.add(toks[j].text)
+            elif t.text in BANNED_CALLS_D1:
+                if t.text in ("rand", "srand", "gettimeofday"):
+                    if nxt != "(" or prv in (".", "->"):
+                        continue  # member named rand, or not a call
+                self.flag(
+                    t.line, "D1",
+                    f"'{t.text}' is a nondeterminism source; use a "
+                    "seeded engine / the cycle counter instead")
+            elif t.text == "time" and nxt == "(" and prv == "::":
+                # std::time(...) — wall-clock in simulation output.
+                self.flag(t.line, "D1",
+                          "'std::time' is a nondeterminism source")
+            elif t.text in ORDERED_ASSOC_TYPES and nxt == "<" and \
+                    prv == "::":
+                # std::map< / std::set<: reject pointer-typed keys.
+                end = match_angle(toks, i + 1)
+                key = []
+                depth = 0
+                for k in range(i + 2, end):
+                    tt = toks[k].text
+                    if tt == "<":
+                        depth += 1
+                    elif tt in (">", ">>"):
+                        depth -= 1 if tt == ">" else 2
+                    elif tt == "," and depth == 0:
+                        break
+                    key.append(tt)
+                if key and key[-1] == "*":
+                    self.flag(
+                        t.line, "D1",
+                        f"std::{t.text} keyed by a raw pointer orders "
+                        "by allocation address — nondeterministic "
+                        "iteration order")
+        # Iteration over unordered-typed locals/members.
+        for i, t in enumerate(toks):
+            if t.kind != "id" or t.text not in unordered_vars:
+                continue
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            prv = toks[i - 1].text if i > 0 else ""
+            if prv == ":" and i >= 2 and toks[i - 2].text != ":":
+                # `for (auto &x : container)` — ':' not part of '::'.
+                self.flag(t.line, "D1",
+                          f"range-for over unordered container "
+                          f"'{t.text}': iteration order is "
+                          "nondeterministic")
+            elif nxt in (".", "->") and i + 2 < len(toks) and \
+                    toks[i + 2].text in ("begin", "end", "cbegin",
+                                         "cend"):
+                self.flag(t.line, "D1",
+                          f"iterator over unordered container "
+                          f"'{t.text}': iteration order is "
+                          "nondeterministic")
+
+    # ---------------- D2 ----------------
+
+    def check_d2(self):
+        toks = self.toks
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            if t.kind == "id" and t.text == "TM_TRACE_EVENT" and \
+                    i + 1 < len(toks) and toks[i + 1].text == "(":
+                # Skip the macro's own definition (#define ...).
+                if i > 0 and toks[i - 1].text == "define":
+                    i += 1
+                    continue
+                end = match_paren(toks, i + 1)
+                self.check_d2_args(toks[i + 2:end])
+                i = end
+            i += 1
+
+    def check_d2_args(self, args):
+        for j, t in enumerate(args):
+            if t.text in ("++", "--"):
+                self.flag(t.line, "D2",
+                          f"'{t.text}' inside TM_TRACE_EVENT arguments:"
+                          " the macro does not evaluate its arguments "
+                          "when tracing is off")
+            elif t.text in ASSIGN_OPS and t.kind == "punct":
+                self.flag(t.line, "D2",
+                          f"assignment '{t.text}' inside TM_TRACE_EVENT"
+                          " arguments must be side-effect-free")
+            elif t.kind == "id" and t.text in MUTATOR_CALLS_D2 and \
+                    j + 1 < len(args) and args[j + 1].text == "(" and \
+                    j > 0 and args[j - 1].text in (".", "->"):
+                self.flag(t.line, "D2",
+                          f"call to mutating method '{t.text}()' inside"
+                          " TM_TRACE_EVENT arguments")
+
+    # ---------------- T1 ----------------
+
+    def check_t1(self):
+        toks = self.toks
+        # Scope stack entries: 'ns' | 'class' | 'fn' | 'init'.
+        stack = []
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            txt = t.text
+            if txt == "{":
+                stack.append(self.classify_brace(i))
+                i += 1
+                continue
+            if txt == "}":
+                if stack:
+                    stack.pop()
+                i += 1
+                continue
+            if t.kind == "id" and txt == "static":
+                nxt = toks[i + 1].text if i + 1 < n else ""
+                if nxt in ("_assert", "cast"):
+                    i += 1
+                    continue
+                scope = stack[-1] if stack else "file"
+                if scope in ("class", "init"):
+                    i += 1
+                    continue
+                i = self.check_t1_decl(i, scope)
+                continue
+            if t.kind == "id" and txt == "namespace" and i + 1 < n and \
+                    toks[i + 1].text == "{":
+                # Anonymous namespace in a TU: every variable here is
+                # shared mutable state unless const.
+                close = match_brace(toks, i + 1)
+                self.check_t1_anon_ns(i + 2, close)
+                # Fall through: the '{' will be classified normally.
+            i += 1
+
+    def classify_brace(self, i):
+        """Classify the brace at toks[i] from its left context."""
+        toks = self.toks
+        j = i - 1
+        # Skip over noexcept/const/override/trailing-return clutter.
+        while j >= 0 and toks[j].kind == "id" and toks[j].text in (
+                "noexcept", "const", "override", "final", "mutable",
+                "constexpr"):
+            j -= 1
+        if j < 0:
+            return "fn"
+        txt = toks[j].text
+        if txt == ")":
+            return "fn"       # function body (or if/for/while block)
+        if txt in ("else", "do", "try", ":"):
+            return "fn"
+        if txt in ("=", ",", "(", "{", "return"):
+            return "init"     # braced initializer / aggregate
+        k = j
+        while k >= 0 and (toks[k].kind in ("id", "string") or
+                          toks[k].text in ("::", "<", ">", ",")):
+            if toks[k].kind == "id" and toks[k].text in (
+                    "class", "struct", "union", "enum"):
+                return "class"
+            if toks[k].kind == "id" and toks[k].text == "namespace":
+                return "ns"
+            if toks[k].text in (";", "}", "{"):
+                break
+            k -= 1
+        return "fn"
+
+    def check_t1_decl(self, i, scope):
+        """toks[i] is 'static' at namespace or function scope. Scan the
+        declaration; flag non-const variables. Returns resume index."""
+        toks = self.toks
+        n = len(toks)
+        j = i + 1
+        has_const = False
+        is_function = False
+        name = None
+        depth_angle = 0
+        while j < n:
+            t = toks[j]
+            txt = t.text
+            if txt == "<":
+                end = match_angle(toks, j)
+                j = end + 1
+                continue
+            if txt in (";", "{", "="):
+                break
+            if t.kind == "id" and txt in ("const", "constexpr",
+                                          "constinit", "thread_local"):
+                has_const = True
+            elif t.kind == "id":
+                name = txt
+                if j + 1 < n and toks[j + 1].text == "(":
+                    # `static T name(...)`: a function declaration or
+                    # definition, unless this is a ctor-call
+                    # initializer — at namespace/function scope treat
+                    # ids followed by '(' after another id as function
+                    # declarators only if a type id preceded.
+                    is_function = True
+                    j = match_paren(toks, j + 1)
+            elif txt == "[":
+                j = match_bracket(toks, j)
+            j += 1
+        if not has_const and not is_function and name:
+            self.flag(
+                toks[i].line, "T1",
+                f"non-const {'function-local' if scope == 'fn' else 'namespace-scope'}"
+                f" 'static {name}' is shared mutable state on the "
+                "sweep worker path; make it const/constexpr or "
+                "annotate 'tm-lint: allow(T1) <synchronization story>'")
+        # Resume after the declaration terminator.
+        while j < n and toks[j].text not in (";", "{"):
+            j += 1
+        if j < n and toks[j].text == "{":
+            return j  # let the main loop classify the brace
+        return j + 1
+
+    def check_t1_anon_ns(self, start, close):
+        """Scan depth-1 statements of an anonymous namespace body for
+        non-const, non-static variable declarations (static ones are
+        caught by check_t1_decl)."""
+        toks = self.toks
+        j = start
+        while j < close:
+            stmt_start = j
+            has_const = False
+            has_static = False
+            is_definition = False   # function/class/using/etc.
+            name = None
+            while j < close:
+                t = toks[j]
+                txt = t.text
+                if txt == "<":
+                    j = match_angle(toks, j) + 1
+                    continue
+                if txt == ";":
+                    j += 1
+                    break
+                if txt == "{":
+                    j = match_brace(toks, j) + 1
+                    # struct {...} x; keeps scanning; function bodies
+                    # terminate the statement at the closing brace.
+                    if is_definition:
+                        if j < close and toks[j].text == ";":
+                            j += 1
+                        break
+                    continue
+                if t.kind == "id":
+                    if txt in ("const", "constexpr", "constinit"):
+                        has_const = True
+                    elif txt == "static":
+                        has_static = True
+                    elif txt in ("using", "typedef", "struct", "class",
+                                 "enum", "union", "template",
+                                 "static_assert", "namespace", "friend",
+                                 "extern"):
+                        is_definition = True
+                    else:
+                        name = txt
+                        if j + 1 < close and toks[j + 1].text == "(":
+                            is_definition = True  # function
+                            j = match_paren(toks, j + 1)
+                elif txt == "=":
+                    # Initializer: stop interpreting ids as declarators.
+                    while j < close and toks[j].text != ";":
+                        if toks[j].text == "{":
+                            j = match_brace(toks, j)
+                        j += 1
+                    j += 1
+                    break
+                j += 1
+            if name and not (has_const or has_static or is_definition):
+                self.flag(
+                    toks[stmt_start].line, "T1",
+                    f"anonymous-namespace variable '{name}' is shared "
+                    "mutable state on the sweep worker path; make it "
+                    "const or annotate 'tm-lint: allow(T1) "
+                    "<synchronization story>'")
+            if j <= stmt_start:
+                j = stmt_start + 1
+
+    # ---------------- H1 ----------------
+
+    def check_h1(self):
+        toks = self.toks
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            if t.kind == "id" and t.text in HOT_FUNCTIONS and \
+                    i + 1 < n and toks[i + 1].text == "(":
+                # Require a definition: ( params ) [const noexcept] {
+                close = match_paren(toks, i + 1)
+                j = close + 1
+                while j < n and toks[j].kind == "id" and toks[j].text in (
+                        "const", "noexcept", "override", "final"):
+                    j += 1
+                if j < n and toks[j].text == "{":
+                    body_end = match_brace(toks, j)
+                    self.check_h1_body(toks[j + 1:body_end], t.text)
+                    i = body_end
+            i += 1
+
+    def check_h1_body(self, body, fn_name):
+        for j, t in enumerate(body):
+            if t.kind == "id" and t.text in STAT_STRING_METHODS and \
+                    j > 0 and body[j - 1].text in (".", "->") and \
+                    j + 2 < len(body) and body[j + 1].text == "(" and \
+                    body[j + 2].kind == "string":
+                self.flag(
+                    t.line, "H1",
+                    f"string-keyed StatGroup::{t.text}({body[j + 2].text})"
+                    f" inside hot function '{fn_name}()': intern a "
+                    "StatHandle at construction instead")
+
+    # ---------------- S1 collection ----------------
+
+    def collect_s1(self):
+        toks = self.toks
+        in_bind = None  # (end_index,) while inside bindStallStats body
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            if t.kind == "id" and t.text == "bindStallStats" and \
+                    i + 1 < n and toks[i + 1].text == "(":
+                close = match_paren(toks, i + 1)
+                j = close + 1
+                if j < n and toks[j].text == "{":
+                    in_bind = match_brace(toks, j)
+            if in_bind is not None and i > in_bind:
+                in_bind = None
+            if t.kind == "id" and t.text in ("handle", "inc", "set") and \
+                    i > 0 and toks[i - 1].text in (".", "->") and \
+                    i + 2 < n and toks[i + 1].text == "(" and \
+                    toks[i + 2].kind == "string":
+                name = toks[i + 2].text[1:-1]
+                self.registered_stats.append((name, t.line))
+                recv = toks[i - 2].text if i >= 2 else ""
+                if in_bind is not None or "stall" in recv.lower():
+                    self.registered_stats.pop()
+                    self.stall_registrations.append(
+                        (name, t.line, in_bind is not None))
+            elif t.kind == "string":
+                name = t.text[1:-1]
+                if re.fullmatch(r"fu_\w+", name):
+                    # The FU-class counter family (fuStatName tables).
+                    self.registered_stats.append((name, t.line))
+            i += 1
+
+
+# --------------------------------------------------------------------
+# Tree-level S1 check
+# --------------------------------------------------------------------
+
+def load_golden(golden_path):
+    """Return (leaf_names, stall_leaves) from golden_stats.txt."""
+    leaves, stall = set(), set()
+    with open(golden_path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.strip()
+            if not line or line.startswith("==="):
+                continue
+            stat = line.split()[0]
+            if "." not in stat:
+                continue
+            leaves.add(stat.rsplit(".", 1)[1])
+            m = re.match(r"^\w+\.stall\.(\w+)$", stat)
+            if m:
+                stall.add(m.group(1))
+    return leaves, stall
+
+
+def check_s1(file_lints, golden_path, full_tree):
+    findings = []
+    leaves, golden_stall = load_golden(golden_path)
+
+    # Part 1: every registered counter appears in golden or is
+    # explicitly allowlisted as registered-but-unexercised.
+    for fl in file_lints:
+        for name, line in fl.registered_stats:
+            if name in leaves or name in golden_stall:
+                continue
+            if name in S1_REGISTERED_UNEXERCISED:
+                continue
+            if "S1" in fl.suppress_file or \
+                    line in fl.suppress.get("S1", ()):
+                continue
+            findings.append(Finding(
+                fl.path, line, "S1",
+                f"counter '{name}' is registered but appears nowhere "
+                f"in {os.path.relpath(golden_path, REPO)}; extend the "
+                "golden suite to exercise it or add it to "
+                "S1_REGISTERED_UNEXERCISED with a justification"))
+
+    # Part 2 (full-tree scans only): the stall breakdown is closed.
+    if full_tree:
+        bind_names, other_names = set(), set()
+        sites = {}
+        for fl in file_lints:
+            for name, line, via_bind in fl.stall_registrations:
+                (bind_names if via_bind else other_names).add(name)
+                sites.setdefault(name, (fl.path, line))
+        registered = bind_names | other_names
+        for leaf in sorted(golden_stall - registered):
+            findings.append(Finding(
+                golden_path, 1, "S1",
+                f"golden stat 'cpu.stall.{leaf}' has no registration "
+                "site on any stall group in src/"))
+        for name in sorted(registered - golden_stall -
+                           set(S1_REGISTERED_UNEXERCISED)):
+            path, line = sites[name]
+            findings.append(Finding(
+                path, line, "S1",
+                f"stall counter '{name}' is registered on a stall "
+                "group but never appears as cpu.stall.* in the golden "
+                "file — the exhaustive sum-equals-stall_cycles family "
+                "would silently miss it"))
+        if full_tree and not bind_names:
+            findings.append(Finding(
+                golden_path, 1, "S1",
+                "found no stall-counter registrations inside "
+                "Lsu::bindStallStats — the cpu.stall.* rebinding "
+                "contract (DESIGN.md §9) has no registration sites"))
+    return findings
+
+
+# --------------------------------------------------------------------
+# Optional libclang backend (additive; auto mode only)
+# --------------------------------------------------------------------
+
+def try_clang_findings(src_files):
+    """AST-backed D1/T1 pass. Returns a list of findings, or None when
+    libclang / compile_commands.json is unavailable. Never raises; the
+    tokenizer verdict stands on its own."""
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return None
+    cc_path = os.path.join(REPO, "build", "compile_commands.json")
+    if not os.path.exists(cc_path):
+        return None
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(
+            os.path.dirname(cc_path))
+        index = cindex.Index.create()
+    except Exception:
+        return None
+    findings = []
+    wanted = {os.path.abspath(p) for p in src_files}
+    try:
+        for cmd in db.getAllCompileCommands():
+            path = os.path.abspath(os.path.join(cmd.directory,
+                                                cmd.filename))
+            if path not in wanted:
+                continue
+            args = [a for a in cmd.arguments][1:]
+            args = [a for a in args if a not in ("-c", cmd.filename)]
+            try:
+                tu = index.parse(path, args=args)
+            except Exception:
+                continue
+            for cur in tu.cursor.walk_preorder():
+                if cur.location.file is None or \
+                        os.path.abspath(cur.location.file.name) != path:
+                    continue
+                if cur.kind == cindex.CursorKind.VAR_DECL and \
+                        cur.storage_class == cindex.StorageClass.STATIC:
+                    qt = cur.type
+                    if not qt.is_const_qualified():
+                        findings.append(Finding(
+                            path, cur.location.line, "T1",
+                            f"[clang] static non-const variable "
+                            f"'{cur.spelling}'"))
+                if cur.kind == cindex.CursorKind.DECL_REF_EXPR and \
+                        cur.spelling in BANNED_CALLS_D1:
+                    findings.append(Finding(
+                        path, cur.location.line, "D1",
+                        f"[clang] reference to banned symbol "
+                        f"'{cur.spelling}'"))
+    except Exception:
+        return findings
+    return findings
+
+
+# --------------------------------------------------------------------
+# Drivers
+# --------------------------------------------------------------------
+
+SRC_EXTS = (".cc", ".hh", ".cpp", ".hpp", ".h")
+
+
+def collect_src_files(src_root):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for fn in sorted(filenames):
+            if fn.endswith(SRC_EXTS):
+                out.append(os.path.join(dirpath, fn))
+    return sorted(out)
+
+
+def lint_files(paths, golden_path, full_tree, mode):
+    file_lints = []
+    findings = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"tm-lint: cannot read {path}: {e}", file=sys.stderr)
+            return None
+        fl = FileLint(path, text)
+        findings.extend(fl.run())
+        file_lints.append(fl)
+    if os.path.exists(golden_path):
+        findings.extend(check_s1(file_lints, golden_path, full_tree))
+    elif full_tree:
+        print(f"tm-lint: golden file missing: {golden_path}",
+              file=sys.stderr)
+        return None
+    if mode == "auto":
+        clang_extra = try_clang_findings(paths)
+        if clang_extra:
+            # Deduplicate against tokenizer findings on (file,line,rule)
+            seen = {(f.path, f.line, f.rule) for f in findings}
+            findings.extend(f for f in clang_extra
+                            if (f.path, f.line, f.rule) not in seen)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def run_selftest(fixtures_dir, golden_path):
+    """Every fixture declares the rules it must trip via a
+    'tm-lint-fixture: expect D1 ...' header (or 'expect clean'). The
+    suite fails if any declared rule does not fire, or if a clean
+    fixture trips anything."""
+    paths = sorted(
+        os.path.join(fixtures_dir, fn)
+        for fn in os.listdir(fixtures_dir)
+        if fn.endswith(SRC_EXTS))
+    if not paths:
+        print(f"tm-lint selftest: no fixtures in {fixtures_dir}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        m = FIXTURE_EXPECT_RE.search(text)
+        if not m:
+            print(f"FAIL {os.path.basename(path)}: no "
+                  "'tm-lint-fixture: expect ...' header")
+            failures += 1
+            continue
+        expected = set(re.split(r"[,\s]+", m.group(1).strip())) - {""}
+        findings = lint_files([path], golden_path, full_tree=False,
+                              mode="tokenize")
+        fired = {f.rule for f in findings} if findings else set()
+        if expected == {"CLEAN"}:
+            ok = not fired
+            detail = f"unexpected findings: {sorted(fired)}" if fired \
+                else "clean as declared"
+        else:
+            missing = expected - fired
+            ok = not missing
+            detail = (f"declared rules did not fire: {sorted(missing)} "
+                      f"(fired: {sorted(fired)})") if missing else \
+                f"fired {sorted(fired & expected)}"
+        status = "ok  " if ok else "FAIL"
+        print(f"{status} {os.path.basename(path)}: {detail}")
+        if not ok:
+            failures += 1
+            for f in findings or []:
+                print(f"       {f}")
+    total = len(paths)
+    print(f"tm-lint selftest: {total - failures}/{total} fixtures "
+          "behaved as declared")
+    return 1 if failures else 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        prog="tm_lint.py",
+        description="tm3270 project invariant checker (DESIGN.md §10)")
+    ap.add_argument("files", nargs="*",
+                    help="specific files to lint (default: all of src/)")
+    ap.add_argument("--mode", choices=("auto", "tokenize", "clang"),
+                    default="auto",
+                    help="auto: tokenizer + libclang when available; "
+                         "tokenize: portable tokenizer only")
+    ap.add_argument("--golden",
+                    default=os.path.join(REPO, "tests", "golden",
+                                         "golden_stats.txt"),
+                    help="golden stats file for rule S1")
+    ap.add_argument("--src", default=os.path.join(REPO, "src"),
+                    help="source tree to scan")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the fixture suite under "
+                         "tests/lint_fixtures/")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="suppress the success summary line")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+
+    if args.selftest:
+        fixtures = os.path.join(REPO, "tests", "lint_fixtures")
+        return run_selftest(fixtures, args.golden)
+
+    if args.mode == "clang":
+        # Hard-require the AST backend (diagnostic use only; the
+        # shipped gate always includes the tokenizer pass).
+        try:
+            import clang.cindex  # noqa: F401
+        except Exception:
+            print("tm-lint: --mode clang requires python3 libclang "
+                  "bindings (python3-clang)", file=sys.stderr)
+            return 2
+
+    if args.files:
+        paths = [os.path.abspath(p) for p in args.files]
+        full_tree = False
+    else:
+        paths = collect_src_files(args.src)
+        full_tree = True
+    if not paths:
+        print("tm-lint: nothing to lint", file=sys.stderr)
+        return 2
+
+    findings = lint_files(paths, args.golden, full_tree, args.mode)
+    if findings is None:
+        return 2
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"tm-lint: {len(findings)} finding(s) across "
+              f"{len(paths)} file(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"tm-lint: OK ({len(paths)} files, rules "
+              f"{', '.join(sorted(RULES))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

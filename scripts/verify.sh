@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Full verification ladder: tier-1 tests, ASan/UBSan, the TSan
-# sweep-driver subset, trace validity, and the tracing-off simrate
-# gate, in one command:
+# Full verification ladder: project-invariant lint, tier-1 tests,
+# clang-tidy (when available), ASan/UBSan, the TSan sweep-driver
+# subset, trace validity, and the tracing-off simrate gate, in one
+# command:
 #
 #     scripts/verify.sh [-j N]
 #
-# Build trees:
+# Stage 0 is scripts/tm_lint.py (DESIGN.md §10): fixture selftest,
+# then the determinism/stat-accounting/thread-safety rules over src/.
+#
+# Build trees (all configured with -DTM_WERROR=ON: warnings = errors):
 #   build/       RelWithDebInfo, full tier-1 ctest suite
 #   build-asan/  -DTM_SANITIZE=address,undefined, full suite
 #   build-tsan/  -DTM_SANITIZE=thread, -R 'Sweep|ProgramCache'
@@ -32,18 +36,41 @@ done
 
 stage() { printf '\n=== %s ===\n' "$*"; }
 
+# The lint gate runs before any build so invariant violations fail in
+# seconds. The selftest first: a lint whose rules silently stopped
+# firing must not be able to green-light the tree (the fixtures under
+# tests/lint_fixtures/ each MUST be flagged with their declared rule).
+stage "lint (tm-lint selftest + src/ sweep)"
+python3 scripts/tm_lint.py --selftest
+python3 scripts/tm_lint.py
+
 stage "tier-1 (build/)"
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DTM_WERROR=ON >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+# Generic AST checks (.clang-tidy) over the compile_commands.json the
+# tier-1 configure just exported. Optional: the container image may
+# not ship clang-tidy; tm-lint above carries the project invariants
+# either way.
+stage "clang-tidy (optional)"
+if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build -quiet -j "$jobs" "$(pwd)/src/.*"
+elif command -v clang-tidy >/dev/null 2>&1; then
+    find src -name '*.cc' -print0 |
+        xargs -0 -P "$jobs" -n 8 clang-tidy -p build -quiet
+else
+    echo "clang-tidy not found - stage skipped (tm-lint already ran)"
+fi
+
 stage "ASan/UBSan (build-asan/)"
-cmake -B build-asan -S . -DTM_SANITIZE=address,undefined >/dev/null
+cmake -B build-asan -S . -DTM_SANITIZE=address,undefined \
+    -DTM_WERROR=ON >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
 stage "TSan sweep subset (build-tsan/)"
-cmake -B build-tsan -S . -DTM_SANITIZE=thread >/dev/null
+cmake -B build-tsan -S . -DTM_SANITIZE=thread -DTM_WERROR=ON >/dev/null
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     -R 'Sweep|ProgramCache'

@@ -294,8 +294,14 @@ disassemble(const std::vector<VliwInst> &insts,
     std::map<size_t, std::string> label_of;
     unsigned next_label = 0;
     for (size_t i = 0; i < insts.size(); ++i) {
-        if (i < jump_targets.size() && jump_targets[i])
-            label_of[i] = "L" + std::to_string(next_label++);
+        if (i < jump_targets.size() && jump_targets[i]) {
+            // Build via += rather than `"L" + std::to_string(...)`:
+            // the operator+ form trips GCC 12's spurious -Wrestrict
+            // on the inlined string concatenation (GCC PR 105329).
+            std::string label = "L";
+            label += std::to_string(next_label++);
+            label_of[i] = std::move(label);
+        }
     }
 
     for (size_t i = 0; i < insts.size(); ++i) {

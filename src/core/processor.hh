@@ -150,6 +150,8 @@ class Processor
     SocMmio mmio_;
 
     const EncodedProgram *prog = nullptr;
+    // tm-lint: allow(D1) lookup-only decode memo (try_emplace/clear);
+    // never iterated, so its hash order cannot reach stats or traces.
     std::unordered_map<Addr, DecodedInst> decodeCache;
 
     /** Predecoded micro-op stream: pdIndex maps a byte address of the

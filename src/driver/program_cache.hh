@@ -53,6 +53,8 @@ class ProgramCache
 
   private:
     mutable std::mutex mu;
+    // tm-lint: allow(D1) mu-guarded key lookup only; never iterated,
+    // so hash order cannot influence job results or their ordering.
     std::unordered_map<std::string, std::shared_future<ProgramPtr>> entries;
     std::atomic<uint64_t> nHits{0};
     std::atomic<uint64_t> nMisses{0};

@@ -165,6 +165,37 @@ class StatGroup
         dumpPrefixed(os, groupName);
     }
 
+    /**
+     * Every counter name interned or touched in this group and its
+     * children, fully prefixed like dump() output ("cpu.stall.icache"),
+     * regardless of touched state. The runtime twin of lint rule S1
+     * (tests/test_stat_registry.cc) walks this to prove registry-wide
+     * name uniqueness and exactly-once dump coverage.
+     */
+    std::vector<std::string>
+    registered() const
+    {
+        std::vector<std::string> out;
+        registeredInto(out, groupName);
+        return out;
+    }
+
+    /**
+     * Mark every counter of this group and its children as touched
+     * (values unchanged), so a subsequent dump() shows the complete
+     * registry. Test support for the stat-registry gate; simulation
+     * code must never call this — it would add never-incremented
+     * counters to golden dumps.
+     */
+    void
+    touchAll()
+    {
+        for (auto &kv : counters)
+            kv.second.touched = true;
+        for (StatGroup *child : children)
+            child->touchAll();
+    }
+
   private:
     void
     dumpPrefixed(std::ostream &os, const std::string &prefix) const
@@ -175,6 +206,16 @@ class StatGroup
         }
         for (const StatGroup *child : children)
             child->dumpPrefixed(os, prefix + '.' + child->groupName);
+    }
+
+    void
+    registeredInto(std::vector<std::string> &out,
+                   const std::string &prefix) const
+    {
+        for (const auto &kv : counters)
+            out.push_back(prefix + '.' + kv.first);
+        for (const StatGroup *child : children)
+            child->registeredInto(out, prefix + '.' + child->groupName);
     }
 
     void

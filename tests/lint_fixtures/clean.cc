@@ -1,0 +1,80 @@
+// tm-lint-fixture: expect CLEAN
+//
+// Negative control: the approved idioms for everything the other
+// fixtures violate. If any rule fires here, the lint is
+// over-matching and the selftest fails.
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace trace
+{
+struct Tracer
+{
+    void record(int kind, uint64_t ts, uint32_t dur);
+};
+} // namespace trace
+
+#define TM_TRACE_EVENT(tracer, ...)                                         \
+    do {                                                                    \
+        if ((tracer) != nullptr)                                            \
+            (tracer)->record(__VA_ARGS__);                                  \
+    } while (0)
+
+namespace fixture
+{
+
+/** Deterministic workload data: a seeded engine, never rand(). */
+inline uint32_t
+patternWord(uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    return static_cast<uint32_t>(rng());
+}
+
+/** Ordered, value-keyed map: deterministic iteration is fine. */
+inline uint64_t
+sumOrdered(const std::map<std::string, uint64_t> &m)
+{
+    uint64_t sum = 0;
+    for (const auto &kv : m)
+        sum += kv.second;
+    return sum;
+}
+
+struct FastUnit
+{
+    tm3270::StatGroup stats{"cpu"};
+    // Interned at construction; golden-covered counter name.
+    tm3270::StatHandle hLoads = stats.handle("loads");
+
+    // tm-lint: allow(D1) lookup-only memo; never iterated.
+    std::unordered_map<uint64_t, uint32_t> memo;
+
+    trace::Tracer *tracer = nullptr;
+    uint64_t cycle = 0;
+
+    void
+    tick(tm3270::Cycles now)
+    {
+        hLoads.inc();
+        // Side-effect-free arguments only.
+        TM_TRACE_EVENT(tracer, 1, now, static_cast<uint32_t>(cycle));
+    }
+};
+
+/** Function-local static constants are allowed (immutable). */
+inline const char *
+unitName()
+{
+    static const char *const kName = "fast_unit";
+    return kName;
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// tm-lint-fixture: expect D1
+//
+// Seeded violation: a std::map keyed by a raw pointer. Ordered
+// iteration then follows allocation addresses, which vary run to run
+// — a classic way to lose deterministic dump order.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace fixture
+{
+
+class StatGroup;
+
+struct Registry
+{
+    std::map<StatGroup *, uint64_t> perGroup;
+    std::set<const StatGroup *> seen;
+};
+
+} // namespace fixture

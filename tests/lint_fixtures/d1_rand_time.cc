@@ -1,0 +1,24 @@
+// tm-lint-fixture: expect D1
+//
+// Seeded violation: C library randomness and wall-clock time in
+// simulation code. Workload generators must use seeded engines
+// (std::mt19937_64 rng(seed)) and timestamps must come from the
+// cycle counter, never the host clock.
+
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture
+{
+
+inline uint32_t
+jitterSeed()
+{
+    std::random_device rd;
+    std::srand(static_cast<unsigned>(std::time(nullptr)));
+    return rd() ^ static_cast<uint32_t>(rand());
+}
+
+} // namespace fixture

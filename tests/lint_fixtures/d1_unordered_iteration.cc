@@ -1,0 +1,29 @@
+// tm-lint-fixture: expect D1
+//
+// Seeded violation: an unannotated unordered container plus a
+// range-for over it. Hash iteration order depends on libstdc++
+// internals and pointer values, so any stat dump or serialization
+// built this way loses bit-identity across hosts and runs.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture
+{
+
+struct StatSink
+{
+    std::unordered_map<std::string, uint64_t> counters;
+
+    uint64_t
+    total() const
+    {
+        uint64_t sum = 0;
+        for (const auto &kv : counters)
+            sum += kv.second;
+        return sum;
+    }
+};
+
+} // namespace fixture

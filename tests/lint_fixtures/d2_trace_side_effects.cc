@@ -1,0 +1,41 @@
+// tm-lint-fixture: expect D2
+//
+// Seeded violation: TM_TRACE_EVENT argument lists with side effects.
+// The macro evaluates its arguments only when a tracer is attached,
+// so any mutation here makes tracing-on behave differently from
+// tracing-off — exactly what the observation-only gate forbids.
+
+#include <cstdint>
+
+namespace trace
+{
+struct Tracer
+{
+    void record(int kind, uint64_t ts, uint32_t dur);
+};
+} // namespace trace
+
+#define TM_TRACE_EVENT(tracer, ...)                                         \
+    do {                                                                    \
+        if ((tracer) != nullptr)                                            \
+            (tracer)->record(__VA_ARGS__);                                  \
+    } while (0)
+
+namespace fixture
+{
+
+struct Unit
+{
+    trace::Tracer *tracer = nullptr;
+    uint64_t cycle = 0;
+    uint32_t events = 0;
+
+    void
+    step()
+    {
+        TM_TRACE_EVENT(tracer, 1, cycle++, events);
+        TM_TRACE_EVENT(tracer, 2, cycle, events += 1);
+    }
+};
+
+} // namespace fixture

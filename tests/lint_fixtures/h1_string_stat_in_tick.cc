@@ -1,0 +1,32 @@
+// tm-lint-fixture: expect H1
+//
+// Seeded violation: string-keyed StatGroup operations inside a hot
+// function. tick()/step() run once per instruction; a map lookup per
+// event is exactly the cost PR 1 removed with interned StatHandles.
+
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace fixture
+{
+
+struct SlowUnit
+{
+    tm3270::StatGroup stats{"slow"};
+
+    void
+    tick(tm3270::Cycles now)
+    {
+        stats.inc("ticks");
+        if (now % 2 == 0)
+            stats.set("last_even_tick", now);
+    }
+
+    void
+    step()
+    {
+        stats.handle("steps").inc();
+    }
+};
+
+} // namespace fixture

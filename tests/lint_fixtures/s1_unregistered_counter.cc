@@ -1,0 +1,18 @@
+// tm-lint-fixture: expect S1
+//
+// Seeded violation: registering a counter that no golden workload
+// ever exercises and that is not in the registered-but-unexercised
+// allowlist. The golden-stats gate would silently never cover it.
+
+#include "support/stats.hh"
+
+namespace fixture
+{
+
+struct Widget
+{
+    tm3270::StatGroup stats{"widget"};
+    tm3270::StatHandle hFrobs = stats.handle("frobnications_totally_new");
+};
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// tm-lint-fixture: expect T1
+//
+// Seeded violation: hidden shared mutable state, in all three shapes
+// the rule covers — a namespace-scope static, a function-local
+// static, and an anonymous-namespace variable. Any of these is a
+// data race (or a silent result dependency on job interleaving) once
+// the translation unit is linked into the sweep driver's workers.
+
+#include <cstdint>
+#include <string>
+
+namespace fixture
+{
+
+static uint64_t globalCallCount = 0;
+
+namespace
+{
+std::string lastError;
+} // namespace
+
+inline uint64_t
+nextId()
+{
+    static uint64_t counter = 0;
+    ++globalCallCount;
+    lastError.clear();
+    return ++counter;
+}
+
+} // namespace fixture

@@ -27,9 +27,10 @@ TEST(AreaModel, LoadStoreUnitIsLargest)
 {
     // Paper: "The load/store unit is the largest module".
     for (unsigned i = 0; i < numModules; ++i) {
-        if (static_cast<Module>(i) != Module::LS)
+        if (static_cast<Module>(i) != Module::LS) {
             EXPECT_LT(moduleAreaMm2(static_cast<Module>(i)),
                       moduleAreaMm2(Module::LS));
+        }
     }
 }
 

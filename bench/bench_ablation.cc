@@ -25,6 +25,7 @@
 
 #include "driver/sweep.hh"
 #include "support/logging.hh"
+#include "support/prof.hh"
 
 using namespace tm3270;
 using namespace tm3270::workloads;
@@ -43,6 +44,7 @@ struct Variant
 int
 main()
 {
+    prof::attach(prof::envProfiler());
     const Variant variants[] = {
         {"TM3270 baseline (D)", [](MachineConfig &) {}},
         {"64-byte D$ lines",
@@ -118,5 +120,6 @@ main()
                 rep.wallMs, rep.speedup(),
                 static_cast<unsigned long long>(rep.cacheMisses),
                 static_cast<unsigned long long>(rep.cacheHits));
+    driver::writeSweepReport(rep, "ablation", "BENCH_ablation.json");
     return ret;
 }

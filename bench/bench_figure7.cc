@@ -29,6 +29,7 @@
 
 #include "driver/sweep.hh"
 #include "support/logging.hh"
+#include "support/prof.hh"
 
 using namespace tm3270;
 using namespace tm3270::workloads;
@@ -36,6 +37,7 @@ using namespace tm3270::workloads;
 int
 main()
 {
+    prof::attach(prof::envProfiler());
     const char configs[] = {'A', 'B', 'C', 'D'};
     std::vector<Workload> suite = table5Suite();
     std::vector<driver::SimJob> jobs;

@@ -15,6 +15,7 @@
 #include "cabac/cabac.hh"
 #include "cache/cache.hh"
 #include "driver/sweep.hh"
+#include "support/prof.hh"
 #include "encode/decoder.hh"
 #include "tir/builder.hh"
 #include "tir/scheduler.hh"
@@ -193,6 +194,7 @@ BENCHMARK(BM_ParallelSweep)
 int
 main(int argc, char **argv)
 {
+    tm3270::prof::attach(tm3270::prof::envProfiler());
     printConfigTables();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

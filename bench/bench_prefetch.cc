@@ -23,6 +23,7 @@
 
 #include "driver/sweep.hh"
 #include "support/logging.hh"
+#include "support/prof.hh"
 #include "tir/builder.hh"
 
 using namespace tm3270;
@@ -133,6 +134,7 @@ blockWorkload(int32_t stride)
 int
 main()
 {
+    prof::attach(prof::envProfiler());
     const Mode modes[] = {
         {"no prefetch", 0},
         {"next-sequential (stride 128)", 128},
@@ -187,5 +189,6 @@ main()
                 static_cast<unsigned long long>(rep.cacheMisses),
                 jobs.size(),
                 static_cast<unsigned long long>(rep.cacheHits));
+    driver::writeSweepReport(rep, "prefetch", "BENCH_prefetch.json");
     return ret;
 }

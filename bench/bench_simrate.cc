@@ -10,23 +10,34 @@
  *
  *     ./bench/bench_simrate
  *
- * A JSON report is written to BENCH_simrate.json in the working
- * directory by default (pass your own --benchmark_out= to override).
- * The headline metric is items_per_second: simulated VLIW
- * instructions per second. Staging and verification run outside the
- * timed region (PauseTiming/ResumeTiming) so the metric tracks the
- * simulation loop itself, not per-iteration setup. Every run still
- * re-verifies workload output against the host reference, so a
- * simrate win can never silently trade away correctness.
+ * A tm3270.run_manifest.v1 JSON manifest (support/report.hh) is
+ * written to BENCH_simrate.json in the working directory by default
+ * (--manifest_out=PATH overrides; --benchmark_out= still produces the
+ * raw google-benchmark JSON alongside). The headline metric is
+ * items_per_second: simulated VLIW instructions per second. Staging
+ * and verification run outside the timed region
+ * (PauseTiming/ResumeTiming) so the metric tracks the simulation loop
+ * itself, not per-iteration setup. Every run still re-verifies
+ * workload output against the host reference, so a simrate win can
+ * never silently trade away correctness.
+ *
+ * Host-noise attribution: the manifest records the CPU count and the
+ * frequency-scaling state, and a warn() (also captured into the
+ * manifest) flags the two classic sources of noisy history points —
+ * CPU scaling enabled, and a TM_JOBS override disagreeing with the
+ * machine's CPU count.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "support/logging.hh"
+#include "support/prof.hh"
+#include "support/report.hh"
 #include "tir/scheduler.hh"
 #include "trace/interval.hh"
 #include "trace/trace.hh"
@@ -221,6 +232,72 @@ BM_SimrateTexture(benchmark::State &state)
         double(cycles) / double(state.iterations());
 }
 
+/**
+ * Console reporter that additionally captures every run into the run
+ * manifest: per-benchmark items_per_second (what the 2% gate and the
+ * perf history consume), all user counters, and the host context
+ * (CPU count, frequency-scaling state) that makes a noisy history
+ * point attributable after the fact.
+ */
+class ManifestReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit ManifestReporter(tm3270::report::RunReport &rep) : rep_(rep) {}
+
+    bool
+    ReportContext(const Context &ctx) override
+    {
+        using tm3270::report::Json;
+        const bool scaling =
+            ctx.cpu_info.scaling == benchmark::CPUInfo::ENABLED;
+        Json &c = rep_.context();
+        c["num_cpus"] = Json(ctx.cpu_info.num_cpus);
+        c["cpu_scaling_enabled"] = Json(scaling);
+        if (scaling) {
+            warn("CPU frequency scaling is enabled: simrate numbers "
+                 "will be noisy; disable the governor before trusting "
+                 "this history point");
+        }
+        if (const char *e = std::getenv("TM_JOBS")) {
+            long jobs = std::strtol(e, nullptr, 10);
+            if (jobs > 0 && jobs != long(ctx.cpu_info.num_cpus)) {
+                warn("TM_JOBS=%ld disagrees with the machine's %d CPUs: "
+                     "sweep throughput numbers are not comparable "
+                     "across history points with different pools",
+                     jobs, ctx.cpu_info.num_cpus);
+            }
+        }
+        return ConsoleReporter::ReportContext(ctx);
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        using tm3270::report::Json;
+        for (const Run &r : runs) {
+            Json b = Json::object();
+            b["name"] = Json(r.benchmark_name());
+            b["run_type"] =
+                Json(r.run_type == Run::RT_Aggregate ? "aggregate"
+                                                     : "iteration");
+            if (!r.aggregate_name.empty())
+                b["aggregate_name"] = Json(r.aggregate_name);
+            if (r.error_occurred)
+                b["error"] = Json(r.error_message);
+            b["iterations"] = Json(uint64_t(r.iterations));
+            b["real_time_ms"] = Json(r.GetAdjustedRealTime());
+            // UserCounters is an ordered map: deterministic manifest.
+            for (const auto &[name, counter] : r.counters)
+                b[name] = Json(double(counter));
+            rep_.addBenchmark(std::move(b));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    tm3270::report::RunReport &rep_;
+};
+
 } // namespace
 
 BENCHMARK(BM_SimrateCabac)
@@ -240,24 +317,33 @@ BENCHMARK(BM_SimrateTexture)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    // Default to emitting BENCH_simrate.json so the perf trajectory is
-    // recorded by every plain `./bench_simrate` run.
-    std::vector<char *> args(argv, argv + argc);
-    bool has_out = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--benchmark_out", 15) == 0)
-            has_out = true;
+    using namespace tm3270;
+    // Emit a run manifest to BENCH_simrate.json (or --manifest_out=)
+    // so the perf trajectory is recorded by every plain
+    // `./bench_simrate` run and appendable to bench/history/.
+    std::string manifest_path = "BENCH_simrate.json";
+    std::vector<char *> args;
+    args.reserve(size_t(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--manifest_out=", 15) == 0)
+            manifest_path = argv[i] + 15;
+        else
+            args.push_back(argv[i]);
     }
-    static char out_arg[] = "--benchmark_out=BENCH_simrate.json";
-    static char fmt_arg[] = "--benchmark_out_format=json";
-    if (!has_out) {
-        args.push_back(out_arg);
-        args.push_back(fmt_arg);
+
+    prof::attach(prof::envProfiler());
+    report::RunReport rep("simrate", "bench_simrate");
+    {
+        report::WarnCapture wc(rep);
+        ManifestReporter reporter(rep);
+        int n = int(args.size());
+        benchmark::Initialize(&n, args.data());
+        if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+            return 1;
+        benchmark::RunSpecifiedBenchmarks(&reporter);
     }
-    int n = int(args.size());
-    benchmark::Initialize(&n, args.data());
-    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+    rep.setProfile(prof::envProfiler());
+    if (!rep.writeFile(manifest_path))
         return 1;
-    benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

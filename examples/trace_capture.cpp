@@ -17,16 +17,24 @@
  *   --intervals-out F interval metrics CSV path (default intervals.csv)
  *   --interval N      sampler period in cycles (default 1024)
  *   --ring N          tracer ring capacity in events (default 1<<18)
+ *
+ * With TM_PROF=1 a host-time breakdown follows the run summary: the
+ * self-profiler's hierarchical scope dump (compile / staging / core
+ * run / refills / verify / serialization) plus a coverage line showing
+ * what share of the measured wall time the scopes account for.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/config.hh"
 #include "support/logging.hh"
+#include "support/prof.hh"
 #include "tir/scheduler.hh"
 #include "trace/interval.hh"
 #include "trace/trace.hh"
@@ -103,13 +111,25 @@ main(int argc, char **argv)
     sys.processor.attachTracer(&tracer);
     sys.processor.attachSampler(&sampler);
 
+    // Opt into the self-profiler when TM_PROF is set, and time the
+    // instrumented region (compile .. serialization) so the scope
+    // totals below can be checked against real wall time.
+    prof::Profiler *profiler = prof::envProfiler();
+    prof::attach(profiler);
+    using HostClock = std::chrono::steady_clock;
+    HostClock::time_point wall0 = HostClock::now();
+
     RunResult r;
     try {
         if (workload == "motion_est") {
             tir::CompiledProgram cp = tir::compile(
                 buildMotionEstimation({true, true, true}), cfg);
-            stageMotionEstimation(sys, 99);
+            {
+                TM_PROF_SCOPE(prof::Scope::Stage);
+                stageMotionEstimation(sys, 99);
+            }
             r = sys.runProgram(cp.encoded);
+            TM_PROF_SCOPE(prof::Scope::Verify);
             std::string err;
             if (!r.halted || !verifyMotionEstimation(sys, 99, err)) {
                 std::fprintf(stderr, "verify failed: %s\n", err.c_str());
@@ -150,6 +170,9 @@ main(int argc, char **argv)
         return 1;
     }
     sampler.writeCsv(cf);
+    double wallMs =
+        std::chrono::duration<double, std::milli>(HostClock::now() - wall0)
+            .count();
 
     std::printf("%s/%c: %llu cycles, %llu instrs, %llu stall cycles\n",
                 workload.c_str(), configLetter,
@@ -167,5 +190,16 @@ main(int argc, char **argv)
     std::printf("intervals: %s (%zu rows, every %llu cycles)\n",
                 intervalsOut.c_str(), sampler.rows().size(),
                 (unsigned long long)sampler.period());
+
+    if (profiler != nullptr) {
+        std::printf("\n");
+        profiler->writeText(std::cout);
+        std::cout.flush();
+        double coveredMs = double(profiler->rootNs()) / 1e6;
+        std::printf("profile coverage: %.1f ms in scopes / %.1f ms "
+                    "wall = %.1f%%\n",
+                    coveredMs, wallMs,
+                    wallMs > 0.0 ? 100.0 * coveredMs / wallMs : 0.0);
+    }
     return 0;
 }

@@ -1,0 +1,352 @@
+#!/usr/bin/env python3
+"""Perf-history ledger and regression gate over run manifests.
+
+Every bench harness and the sweep driver emit a tm3270.run_manifest.v1
+JSON document (src/support/report.hh). This script turns those
+per-run manifests into a longitudinal record and gates new runs
+against it:
+
+    scripts/perf_history.py append MANIFEST...   [--history FILE]
+    scripts/perf_history.py check  MANIFEST...   [--history FILE]
+    scripts/perf_history.py report               [--history FILE]
+    scripts/perf_history.py --selftest
+
+append   Compacts each manifest (schema, kind/name, git rev, wall-clock
+         stamp, per-benchmark rates, aggregate block, per-job stat
+         digests) onto one line of bench/history/history.jsonl. The
+         ledger is append-only JSONL so `git log -p` shows perf history
+         as plain diffs and a truncated tail never corrupts old rows.
+
+check    Flags regressions in MANIFEST against the ledger. For every
+         rate series (bench entry or sweep aggregate) the baseline is
+         the *median of the last three* historical points — one noisy
+         fast run cannot ratchet the bar up, and one noisy slow run
+         cannot drag it down (same shared-host reasoning as
+         scripts/check_simrate.py, which this subsumes for history-aware
+         gating; check_simrate.py remains the two-file A/B gate).
+         A new rate below baseline * (1 - tolerance) is a regression.
+         Tolerance: --tolerance, else TM_SIMRATE_TOLERANCE, else 0.02.
+
+         Per-benchmark floors: an optional JSON file (--floors, default
+         bench/history/floors.json next to the history file) maps rate
+         names to absolute items/s minima; a run below its floor fails
+         even if history has drifted down with it. Floors pin the
+         "never regress past this" line for headline benchmarks while
+         the median handles run-to-run noise.
+
+report   One line per rate series: points, latest, median-of-3
+         baseline, best.
+
+--selftest builds a synthetic ledger in a temp dir, verifies a healthy
+manifest passes, then seeds a 30% regression and verifies check exits
+nonzero (and that a floor violation alone also trips). Exits 0 iff the
+detector behaves; wired into ctest so the gate cannot silently rot.
+
+Exit codes: 0 ok, 1 regression detected, 2 usage/data error.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+SCHEMA = "tm3270.run_manifest.v1"
+HISTORY_SCHEMA = "tm3270.perf_history.v1"
+DEFAULT_HISTORY = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "bench", "history",
+    "history.jsonl")
+
+
+def load_manifest(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+    return doc
+
+
+def manifest_rates(doc):
+    """Gated rate series of a manifest, name -> items/s.
+
+    Bench manifests contribute one series per benchmark (max over
+    repetitions; aggregates and tracing-ON "Traced" companions are
+    skipped, mirroring check_simrate.py). Sweep manifests contribute
+    one series, "sweep:<name>", from the aggregate throughput.
+    """
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        if "Traced" in name:
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            rates[name] = max(rates.get(name, 0.0), float(ips))
+    if doc.get("kind") == "sweep":
+        ips = doc.get("aggregate", {}).get("items_per_second")
+        if ips:
+            rates[f"sweep:{doc.get('name', '?')}"] = float(ips)
+    return rates
+
+
+def compact(doc):
+    """The one-line ledger record derived from a full manifest."""
+    ctx = doc.get("context", {})
+    rec = {
+        "schema": HISTORY_SCHEMA,
+        "kind": doc.get("kind"),
+        "name": doc.get("name"),
+        "git_rev": ctx.get("git_rev"),
+        "created_unix_ms": ctx.get("created_unix_ms"),
+        "rates": manifest_rates(doc),
+    }
+    if doc.get("aggregate"):
+        rec["aggregate"] = doc["aggregate"]
+    digests = {
+        j["tag"]: j["stat_digest"]
+        for j in doc.get("jobs", [])
+        if "tag" in j and "stat_digest" in j
+    }
+    if digests:
+        rec["stat_digests"] = digests
+    if doc.get("warnings"):
+        rec["warnings"] = doc["warnings"]
+    return rec
+
+
+def load_history(path):
+    rows = []
+    if not os.path.exists(path):
+        return rows
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                print(f"warning: {path}:{lineno}: unparseable row "
+                      f"skipped", file=sys.stderr)
+    return rows
+
+
+def series(rows):
+    """name -> chronological list of historical rates."""
+    out = {}
+    for row in rows:
+        for name, rate in row.get("rates", {}).items():
+            out.setdefault(name, []).append(float(rate))
+    return out
+
+
+def baseline_of(points):
+    """Median of the last three points (fewer if history is short)."""
+    tail = points[-3:]
+    return statistics.median(tail) if tail else None
+
+
+def load_floors(path):
+    if not path or not os.path.exists(path):
+        return {}
+    with open(path) as f:
+        floors = json.load(f)
+    return {k: float(v) for k, v in floors.items()}
+
+
+def cmd_append(args):
+    os.makedirs(os.path.dirname(os.path.abspath(args.history)),
+                exist_ok=True)
+    with open(args.history, "a") as f:
+        for path in args.manifests:
+            rec = compact(load_manifest(path))
+            f.write(json.dumps(rec, sort_keys=True) + "\n")
+            print(f"appended {rec['kind']}/{rec['name']} "
+                  f"({len(rec['rates'])} rate series) -> {args.history}")
+    return 0
+
+
+def check_rates(new_rates, hist, floors, tolerance):
+    """Return list of failure strings; prints one line per series."""
+    failures = []
+    for name in sorted(new_rates):
+        rate = new_rates[name]
+        points = hist.get(name, [])
+        base = baseline_of(points)
+        floor = floors.get(name)
+        status, detail = "ok", ""
+        if floor is not None and rate < floor:
+            status = "FLOOR"
+            detail = f"below floor {floor / 1e6:.2f}"
+            failures.append(f"{name}: {rate / 1e6:.2f} M/s under "
+                            f"floor {floor / 1e6:.2f} M/s")
+        if base is not None:
+            ratio = rate / base
+            detail = (f"median3 {base / 1e6:8.2f} "
+                      f"({(ratio - 1.0) * 100:+6.2f}%)" +
+                      (f"  {detail}" if detail else ""))
+            if ratio < 1.0 - tolerance and status == "ok":
+                status = "REGRESSION"
+                failures.append(
+                    f"{name}: {rate / 1e6:.2f} M/s is "
+                    f"{(1.0 - ratio) * 100:.1f}% below the "
+                    f"median-of-3 baseline {base / 1e6:.2f} M/s")
+        elif status == "ok":
+            detail = f"no history ({len(points)} points); not gated"
+        print(f"  {name:42s} {rate / 1e6:8.2f} M/s  {detail}  {status}")
+    return failures
+
+
+def cmd_check(args):
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("TM_SIMRATE_TOLERANCE", "0.02"))
+    floors_path = args.floors or os.path.join(
+        os.path.dirname(os.path.abspath(args.history)), "floors.json")
+    floors = load_floors(floors_path)
+    hist = series(load_history(args.history))
+
+    failures = []
+    for path in args.manifests:
+        doc = load_manifest(path)
+        rates = manifest_rates(doc)
+        print(f"{doc.get('kind')}/{doc.get('name')} ({path}):")
+        if not rates:
+            print("  no gateable rate series", file=sys.stderr)
+            return 2
+        failures += check_rates(rates, hist, floors, tolerance)
+
+    if failures:
+        print(f"perf-history gate FAILED (tolerance "
+              f"{tolerance * 100:.0f}%):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"perf-history gate passed (tolerance {tolerance * 100:.0f}%)")
+    return 0
+
+
+def cmd_report(args):
+    hist = series(load_history(args.history))
+    if not hist:
+        print(f"no history at {args.history}")
+        return 0
+    print(f"{'series':42s} {'points':>6s} {'latest':>10s} "
+          f"{'median3':>10s} {'best':>10s}   (M items/s)")
+    for name in sorted(hist):
+        pts = hist[name]
+        print(f"{name:42s} {len(pts):6d} {pts[-1] / 1e6:10.2f} "
+              f"{baseline_of(pts) / 1e6:10.2f} {max(pts) / 1e6:10.2f}")
+    return 0
+
+
+def synthetic_manifest(name, rate):
+    return {
+        "schema": SCHEMA,
+        "kind": "bench",
+        "name": "simrate",
+        "context": {"git_rev": "selftest", "created_unix_ms": 0},
+        "benchmarks": [
+            {"name": name, "run_type": "iteration",
+             "items_per_second": rate},
+        ],
+    }
+
+
+def selftest():
+    import tempfile
+
+    failures = []
+
+    def expect(label, got, want):
+        ok = got == want
+        print(f"  {'ok' if ok else 'FAIL'}: {label} "
+              f"(exit {got}, want {want})")
+        if not ok:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as td:
+        history = os.path.join(td, "history.jsonl")
+        mpath = os.path.join(td, "m.json")
+        ns = argparse.Namespace(history=history, manifests=[mpath],
+                                tolerance=0.02, floors=None)
+
+        # Seed three healthy points (98/100/102 M/s -> median 100).
+        for rate in (98e6, 100e6, 102e6):
+            with open(mpath, "w") as f:
+                json.dump(synthetic_manifest("BM_Self", rate), f)
+            cmd_append(ns)
+
+        with open(mpath, "w") as f:
+            json.dump(synthetic_manifest("BM_Self", 99.5e6), f)
+        expect("healthy run passes", cmd_check(ns), 0)
+
+        # Seeded synthetic regression: 30% below the median-of-3.
+        with open(mpath, "w") as f:
+            json.dump(synthetic_manifest("BM_Self", 70e6), f)
+        expect("30% regression detected", cmd_check(ns), 1)
+
+        # Median-of-3 noise handling: one slow historical outlier must
+        # not drag the baseline down far enough to excuse it.
+        with open(mpath, "w") as f:
+            json.dump(synthetic_manifest("BM_Self", 70e6), f)
+        cmd_append(ns)  # the outlier is now IN the history tail
+        with open(mpath, "w") as f:
+            json.dump(synthetic_manifest("BM_Self", 80e6), f)
+        expect("outlier cannot excuse a slow run", cmd_check(ns), 1)
+
+        # Per-benchmark floor: healthy vs history, but under its floor.
+        floors = os.path.join(td, "floors.json")
+        with open(floors, "w") as f:
+            json.dump({"BM_Self": 150e6}, f)
+        ns.floors = floors
+        with open(mpath, "w") as f:
+            json.dump(synthetic_manifest("BM_Self", 100e6), f)
+        expect("floor violation detected", cmd_check(ns), 1)
+
+    if failures:
+        print(f"selftest FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("selftest passed")
+    return 0
+
+
+def main(argv):
+    if "--selftest" in argv[1:]:
+        return selftest()
+    p = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    pa = sub.add_parser("append", help="append manifests to the ledger")
+    pa.add_argument("manifests", nargs="+")
+    pc = sub.add_parser("check", help="gate manifests against history")
+    pc.add_argument("manifests", nargs="+")
+    pc.add_argument("--tolerance", type=float, default=None,
+                    help="relative slowdown tolerance (default 0.02 / "
+                         "TM_SIMRATE_TOLERANCE)")
+    pc.add_argument("--floors", default=None,
+                    help="per-benchmark absolute floors JSON (default "
+                         "floors.json next to the history file)")
+    pr = sub.add_parser("report", help="summarize the ledger")
+    for q in (pa, pc, pr):
+        q.add_argument("--history", default=DEFAULT_HISTORY)
+
+    args = p.parse_args(argv[1:])
+    try:
+        if args.cmd == "append":
+            return cmd_append(args)
+        if args.cmd == "check":
+            return cmd_check(args)
+        return cmd_report(args)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

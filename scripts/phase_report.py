@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Phase-behaviour report from an IntervalSampler CSV.
+
+The interval sampler (src/trace/interval.hh) emits one row per N
+simulated cycles with per-interval IPC, stall fraction and cache/
+prefetch rates. This script renders that series two ways:
+
+    scripts/phase_report.py RUN.intervals.csv [--svg OUT.svg]
+                            [--columns ipc,stall_frac] [--width N]
+
+  * terminal: one unicode sparkline per selected column plus min /
+    mean / max, so a phase change (e.g. the motion-estimation inner
+    loop entering its prefetch-friendly steady state) is visible in
+    CI logs without any tooling;
+  * --svg: a dependency-free SVG line chart (one polyline per column,
+    shared cycle axis) for DESIGN.md-style reports.
+
+Exit codes: 0 ok, 2 usage/data error (missing column, empty series).
+"""
+
+import argparse
+import sys
+
+SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def read_csv(path):
+    with open(path) as f:
+        lines = [ln.strip() for ln in f if ln.strip()]
+    if len(lines) < 2:
+        raise ValueError(f"{path}: no data rows")
+    header = lines[0].split(",")
+    rows = []
+    for ln in lines[1:]:
+        parts = ln.split(",")
+        if len(parts) != len(header):
+            raise ValueError(f"{path}: ragged row: {ln!r}")
+        rows.append([float(x) for x in parts])
+    return header, rows
+
+
+def column(header, rows, name):
+    try:
+        i = header.index(name)
+    except ValueError:
+        raise ValueError(
+            f"no column {name!r}; have {', '.join(header)}") from None
+    return [r[i] for r in rows]
+
+
+def resample(values, width):
+    """Mean-pool values into at most width buckets."""
+    if len(values) <= width:
+        return values
+    out = []
+    for b in range(width):
+        lo = b * len(values) // width
+        hi = max(lo + 1, (b + 1) * len(values) // width)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def sparkline(values, lo, hi):
+    span = hi - lo
+    if span <= 0:
+        return SPARKS[0] * len(values)
+    idx = [min(len(SPARKS) - 1, int((v - lo) / span * len(SPARKS)))
+           for v in values]
+    return "".join(SPARKS[i] for i in idx)
+
+
+def render_terminal(cycles, cols, width):
+    for name, values in cols.items():
+        lo, hi = min(values), max(values)
+        mean = sum(values) / len(values)
+        line = sparkline(resample(values, width), lo, hi)
+        print(f"{name:>18s} {line}")
+        print(f"{'':>18s} min {lo:.3f}  mean {mean:.3f}  max {hi:.3f}  "
+              f"({len(values)} samples to cycle {int(cycles[-1])})")
+
+
+# A small qualitative palette; cycles if more columns are requested.
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"]
+
+
+def render_svg(cycles, cols, path):
+    w, h, pad = 960, 240, 40
+    plot_w, plot_h = w - 2 * pad, h - 2 * pad
+    cmin, cmax = cycles[0], cycles[-1]
+    cspan = max(1.0, cmax - cmin)
+
+    def x(c):
+        return pad + (c - cmin) / cspan * plot_w
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{w}" '
+        f'height="{h}" viewBox="0 0 {w} {h}">',
+        f'<rect width="{w}" height="{h}" fill="white"/>',
+        f'<line x1="{pad}" y1="{h - pad}" x2="{w - pad}" '
+        f'y2="{h - pad}" stroke="#888"/>',
+        f'<line x1="{pad}" y1="{pad}" x2="{pad}" y2="{h - pad}" '
+        f'stroke="#888"/>',
+        f'<text x="{w - pad}" y="{h - pad + 16}" font-size="11" '
+        f'text-anchor="end" fill="#444">cycle {int(cmax)}</text>',
+    ]
+    for i, (name, values) in enumerate(cols.items()):
+        lo, hi = min(values), max(values)
+        span = (hi - lo) or 1.0
+
+        def y(v):
+            return h - pad - (v - lo) / span * plot_h
+
+        pts = " ".join(f"{x(c):.1f},{y(v):.1f}"
+                       for c, v in zip(cycles, values))
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(f'<polyline points="{pts}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5"/>')
+        parts.append(f'<text x="{pad + 6}" y="{pad + 14 + 14 * i}" '
+                     f'font-size="12" fill="{color}">{name} '
+                     f'[{lo:.3f} .. {hi:.3f}]</text>')
+    parts.append("</svg>")
+    with open(path, "w") as f:
+        f.write("\n".join(parts) + "\n")
+    print(f"wrote {path} ({len(cols)} series, {len(cycles)} samples)")
+
+
+def main(argv):
+    p = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p.add_argument("csv", help="IntervalSampler .intervals.csv")
+    p.add_argument("--columns", default="ipc,stall_frac",
+                   help="comma-separated columns (default ipc,stall_frac)")
+    p.add_argument("--svg", default=None, help="also write an SVG chart")
+    p.add_argument("--width", type=int, default=72,
+                   help="sparkline width in cells (default 72)")
+    args = p.parse_args(argv[1:])
+
+    try:
+        header, rows = read_csv(args.csv)
+        cycles = column(header, rows, "cycle")
+        cols = {name: column(header, rows, name)
+                for name in args.columns.split(",") if name}
+        if not cols:
+            raise ValueError("no columns selected")
+    except (OSError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    render_terminal(cycles, cols, args.width)
+    if args.svg:
+        render_svg(cycles, cols, args.svg)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,6 +25,10 @@ Rules
       (inc/set/push*/pop*/insert/erase/clear/emplace*). Tracing-off
       must stay observation-only; the macro does not evaluate its
       arguments when the tracer is null.
+  P1  TM_PROF_SCOPE argument lists must be side-effect-free, for the
+      same reason as D2: the self-profiler (support/prof.hh) is
+      observation-only, and its probes must be free to compile in
+      while changing nothing about simulation results.
   S1  Stat accounting is structurally complete:
       - every counter name registered in src/ (StatGroup::handle/inc/
         set string literals, plus the fu_* FU-class family) must
@@ -90,6 +94,7 @@ RULES = {
     "D1": "no nondeterminism sources (unordered iteration, pointer-keyed "
           "ordering, rand/time) in src/",
     "D2": "TM_TRACE_EVENT arguments must be side-effect-free",
+    "P1": "TM_PROF_SCOPE arguments must be side-effect-free",
     "S1": "every registered stat counter is golden-covered; cpu.stall.* "
           "closed under Lsu::bindStallStats",
     "T1": "no non-const static / anonymous-namespace mutable state in "
@@ -123,6 +128,14 @@ S1_REGISTERED_UNEXERCISED = {
                              "not the FU-class counter",
     "fu_none":               "sentinel for decode errors; counting it "
                              "would be a bug",
+    # Tracer-local bookkeeping (trace/trace.hh): the "trace" group is
+    # deliberately never attached to a System's stat groups, because
+    # traced and untraced runs must stay bit-identical in every golden
+    # dump; it is published only through run manifests.
+    "events_recorded":       "tracer-local group, excluded from golden "
+                             "dumps by design (trace bit-identity gate)",
+    "events_dropped":        "tracer-local group, excluded from golden "
+                             "dumps by design (trace bit-identity gate)",
 }
 
 # T1 scans every TU in src/ because every subsystem library is linked
@@ -341,7 +354,8 @@ class FileLint:
 
     def run(self):
         self.check_d1()
-        self.check_d2()
+        self.check_observer_macro("TM_TRACE_EVENT", "D2")
+        self.check_observer_macro("TM_PROF_SCOPE", "P1")
         self.check_t1()
         self.check_h1()
         self.collect_s1()
@@ -426,41 +440,45 @@ class FileLint:
                           f"'{t.text}': iteration order is "
                           "nondeterministic")
 
-    # ---------------- D2 ----------------
+    # ---------------- D2 / P1 ----------------
 
-    def check_d2(self):
+    def check_observer_macro(self, macro, rule):
+        """D2 (TM_TRACE_EVENT) and P1 (TM_PROF_SCOPE) share one
+        mechanic: the macro's arguments may be evaluated zero times
+        (tracer null / profiler detached), so they must carry no side
+        effects."""
         toks = self.toks
         i = 0
         while i < len(toks):
             t = toks[i]
-            if t.kind == "id" and t.text == "TM_TRACE_EVENT" and \
+            if t.kind == "id" and t.text == macro and \
                     i + 1 < len(toks) and toks[i + 1].text == "(":
                 # Skip the macro's own definition (#define ...).
                 if i > 0 and toks[i - 1].text == "define":
                     i += 1
                     continue
                 end = match_paren(toks, i + 1)
-                self.check_d2_args(toks[i + 2:end])
+                self.check_observer_args(toks[i + 2:end], macro, rule)
                 i = end
             i += 1
 
-    def check_d2_args(self, args):
+    def check_observer_args(self, args, macro, rule):
         for j, t in enumerate(args):
             if t.text in ("++", "--"):
-                self.flag(t.line, "D2",
-                          f"'{t.text}' inside TM_TRACE_EVENT arguments:"
+                self.flag(t.line, rule,
+                          f"'{t.text}' inside {macro} arguments:"
                           " the macro does not evaluate its arguments "
-                          "when tracing is off")
+                          "when the observer is off")
             elif t.text in ASSIGN_OPS and t.kind == "punct":
-                self.flag(t.line, "D2",
-                          f"assignment '{t.text}' inside TM_TRACE_EVENT"
+                self.flag(t.line, rule,
+                          f"assignment '{t.text}' inside {macro}"
                           " arguments must be side-effect-free")
             elif t.kind == "id" and t.text in MUTATOR_CALLS_D2 and \
                     j + 1 < len(args) and args[j + 1].text == "(" and \
                     j > 0 and args[j - 1].text in (".", "->"):
-                self.flag(t.line, "D2",
+                self.flag(t.line, rule,
                           f"call to mutating method '{t.text}()' inside"
-                          " TM_TRACE_EVENT arguments")
+                          f" {macro} arguments")
 
     # ---------------- T1 ----------------
 

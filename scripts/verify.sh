@@ -19,7 +19,11 @@
 # checks it is valid Chrome trace-event JSON; stage 5 re-runs
 # bench_simrate and gates items_per_second against the committed
 # BENCH_simrate.json (tolerance 2%, see scripts/check_simrate.py), so
-# the never-taken tracing branches stay free in the hot loops.
+# the never-taken tracing branches stay free in the hot loops. Stage 6
+# gates the same run-manifest against the longitudinal ledger
+# (median-of-3 baseline + per-benchmark floors, see
+# scripts/perf_history.py) and appends it to
+# bench/history/history.jsonl on success.
 #
 # Exits non-zero on the first failing stage. Incremental: existing
 # build trees are reused, so re-runs only pay for what changed.
@@ -95,10 +99,21 @@ EOF
 stage "tracing-off simrate gate (2%)"
 # 3 repetitions; the gate takes the fastest of each (host load only
 # ever slows a run down, so max-over-reps estimates the true rate).
+# --manifest_out is explicit so the committed BENCH_simrate.json
+# baseline in the repo root is never overwritten by a verify run.
 ./build/bench/bench_simrate \
+    --manifest_out="$tracedir/simrate_manifest.json" \
     --benchmark_repetitions=3 \
     --benchmark_out="$tracedir/simrate.json" \
     --benchmark_out_format=json
 python3 scripts/check_simrate.py "$tracedir/simrate.json"
+
+stage "perf history (ledger gate + append)"
+# The manifest the bench just emitted is gated against the last three
+# ledger points (median-of-3, plus any per-benchmark floors), then
+# recorded, so bench/history/history.jsonl accretes one row per green
+# verify run.
+python3 scripts/perf_history.py check "$tracedir/simrate_manifest.json"
+python3 scripts/perf_history.py append "$tracedir/simrate_manifest.json"
 
 stage "all green"

@@ -5,6 +5,7 @@
 #include "isa/semantics.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
+#include "support/prof.hh"
 #include "trace/interval.hh"
 #include "trace/trace.hh"
 
@@ -187,6 +188,7 @@ Processor::predecodeAt(Addr addr, std::optional<uint16_t> templ)
 const PredecodedInst &
 Processor::predecode(Addr addr, std::optional<uint16_t> templ)
 {
+    TM_PROF_SCOPE(prof::Scope::Predecode);
     const DecodedInst &di = decodeAt(addr, templ);
     PredecodedInst pi;
     pi.size = di.size;
@@ -487,6 +489,7 @@ Processor::step()
 RunResult
 Processor::run(uint64_t max_instrs)
 {
+    TM_PROF_SCOPE(prof::Scope::CoreRun);
     tm_assert(prog != nullptr, "no program loaded");
     RunResult r;
     uint64_t start_instrs = instrsIssued;

@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "support/logging.hh"
+#include "support/prof.hh"
+#include "support/report.hh"
 #include "trace/interval.hh"
 #include "trace/trace.hh"
 
@@ -144,15 +146,23 @@ runJob(const SimJob &job, ProgramCache &cache, const TraceOptions &topt)
         if (topt.enabled) {
             std::string base = topt.dir + "/" + sanitizeTag(job.tag);
             std::ofstream tf(base + ".trace.json");
-            if (tf)
+            if (tf) {
                 tracer->writeChromeJson(tf);
-            else
+                jr.artifacts.emplace_back("trace", base + ".trace.json");
+            } else {
                 warn("cannot write %s.trace.json", base.c_str());
+            }
             std::ofstream cf(base + ".intervals.csv");
-            if (cf)
+            if (cf) {
                 sampler->writeCsv(cf);
-            else
+                jr.artifacts.emplace_back("intervals",
+                                          base + ".intervals.csv");
+            } else {
                 warn("cannot write %s.intervals.csv", base.c_str());
+            }
+            jr.traced = true;
+            jr.traceEvents = tracer->recorded();
+            jr.traceDropped = tracer->dropped();
         }
     } catch (const FatalError &e) {
         jr.ok = false;
@@ -163,28 +173,6 @@ runJob(const SimJob &job, ProgramCache &cache, const TraceOptions &topt)
     }
     jr.wallMs = msSince(t0);
     return jr;
-}
-
-/** Minimal JSON string escaping for tags and error messages. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 8);
-    for (char ch : s) {
-        switch (ch) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(ch) < 0x20)
-                out += strfmt("\\u%04x", ch);
-            else
-                out += ch;
-        }
-    }
-    return out;
 }
 
 } // namespace
@@ -238,6 +226,9 @@ SweepDriver::run(const std::vector<SimJob> &jobs)
     const TraceOptions topt = resolveTraceOptions();
     std::atomic<size_t> next{0};
     auto worker = [&] {
+        // Workers are fresh threads: opt each into the process-wide
+        // profiler so sweep host time is attributed under TM_PROF.
+        prof::attach(prof::envProfiler());
         for (size_t i; (i = next.fetch_add(1)) < jobs.size();)
             rep.results[i] = runJob(jobs[i], cache_, topt);
     };
@@ -267,51 +258,49 @@ void
 writeSweepReport(const SweepReport &rep, const std::string &sweepName,
                  const std::string &path)
 {
-    std::ofstream os(path);
-    if (!os) {
-        warn("cannot write sweep report to %s", path.c_str());
-        return;
+    using report::Json;
+    report::RunReport mr("sweep", sweepName);
+
+    Json &ctx = mr.context();
+    ctx["workers"] = Json(rep.workers);
+    ctx["jobs"] = Json(uint64_t(rep.results.size()));
+
+    Json &agg = mr.aggregate();
+    agg["wall_ms"] = Json(rep.wallMs);
+    agg["job_wall_ms_sum"] = Json(rep.jobWallMsSum);
+    agg["parallel_speedup"] = Json(rep.speedup());
+    agg["items_per_second"] = Json(rep.instrsPerSecond());
+    agg["sim_instrs"] = Json(rep.simInstrs);
+    agg["sim_cycles"] = Json(rep.simCycles);
+    agg["cache_hits"] = Json(rep.cacheHits);
+    agg["cache_misses"] = Json(rep.cacheMisses);
+    agg["failed_jobs"] = Json(uint64_t(rep.failed));
+
+    for (const JobResult &jr : rep.results) {
+        Json j = Json::object();
+        j["tag"] = Json(jr.tag);
+        j["ok"] = Json(jr.ok);
+        j["wall_ms"] = Json(jr.wallMs);
+        j["cycles"] = Json(uint64_t(jr.run.cycles));
+        j["instrs"] = Json(jr.run.instrs);
+        if (!jr.statDump.empty())
+            j["stat_digest"] = Json(report::statDigest(jr.statDump));
+        if (!jr.error.empty())
+            j["error"] = Json(jr.error);
+        if (jr.traced) {
+            j["trace_events"] = Json(jr.traceEvents);
+            j["trace_dropped"] = Json(jr.traceDropped);
+        }
+        for (const auto &[kind, apath] : jr.artifacts) {
+            Json a = Json::object();
+            a["kind"] = Json(kind);
+            a["path"] = Json(apath);
+            j["artifacts"].push(std::move(a));
+        }
+        mr.addJob(std::move(j));
     }
-    os << "{\n";
-    os << "  \"context\": {\n";
-    os << strfmt("    \"sweep\": \"%s\",\n",
-                 jsonEscape(sweepName).c_str());
-    os << strfmt("    \"workers\": %u,\n", rep.workers);
-    os << strfmt("    \"hardware_concurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
-    os << strfmt("    \"jobs\": %zu\n", rep.results.size());
-    os << "  },\n";
-    os << "  \"aggregate\": {\n";
-    os << strfmt("    \"wall_ms\": %.3f,\n", rep.wallMs);
-    os << strfmt("    \"job_wall_ms_sum\": %.3f,\n", rep.jobWallMsSum);
-    os << strfmt("    \"parallel_speedup\": %.3f,\n", rep.speedup());
-    os << strfmt("    \"items_per_second\": %.1f,\n",
-                 rep.instrsPerSecond());
-    os << strfmt("    \"sim_instrs\": %llu,\n",
-                 static_cast<unsigned long long>(rep.simInstrs));
-    os << strfmt("    \"sim_cycles\": %llu,\n",
-                 static_cast<unsigned long long>(rep.simCycles));
-    os << strfmt("    \"cache_hits\": %llu,\n",
-                 static_cast<unsigned long long>(rep.cacheHits));
-    os << strfmt("    \"cache_misses\": %llu,\n",
-                 static_cast<unsigned long long>(rep.cacheMisses));
-    os << strfmt("    \"failed_jobs\": %zu\n", rep.failed);
-    os << "  },\n";
-    os << "  \"jobs\": [\n";
-    for (size_t i = 0; i < rep.results.size(); ++i) {
-        const JobResult &jr = rep.results[i];
-        os << strfmt("    {\"tag\": \"%s\", \"ok\": %s, "
-                     "\"wall_ms\": %.3f, \"cycles\": %llu, "
-                     "\"instrs\": %llu, \"error\": \"%s\"}%s\n",
-                     jsonEscape(jr.tag).c_str(), jr.ok ? "true" : "false",
-                     jr.wallMs,
-                     static_cast<unsigned long long>(jr.run.cycles),
-                     static_cast<unsigned long long>(jr.run.instrs),
-                     jsonEscape(jr.error).c_str(),
-                     i + 1 < rep.results.size() ? "," : "");
-    }
-    os << "  ]\n";
-    os << "}\n";
+    mr.setProfile(prof::envProfiler());
+    mr.writeFile(path);
 }
 
 } // namespace tm3270::driver

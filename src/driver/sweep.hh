@@ -61,6 +61,13 @@ struct JobResult
      *  biu, mem) — the determinism-test golden. */
     std::string statDump;
     double wallMs = 0.0;    ///< host wall-clock of this job
+    /** Files this job produced under TM_TRACE, as (kind, path) —
+     *  e.g. ("trace", ".../mpeg2_me_D.trace.json"); recorded in the
+     *  run manifest so history points link to their evidence. */
+    std::vector<std::pair<std::string, std::string>> artifacts;
+    bool traced = false;        ///< a tracer was attached to this job
+    uint64_t traceEvents = 0;   ///< tracer lifetime event count
+    uint64_t traceDropped = 0;  ///< events lost to ring overwrite
 };
 
 /** Whole-sweep results plus host-throughput accounting. */
@@ -122,9 +129,13 @@ class SweepDriver
 };
 
 /**
- * Write @p rep as JSON (BENCH_simrate.json-style gate evidence) to
- * @p path: a context block, per-sweep aggregates (wall clock, pool
- * speedup, cache hits, instrs/s) and one record per job.
+ * Write @p rep as a tm3270.run_manifest.v1 JSON document
+ * (support/report.hh) to @p path: schema + host/build context,
+ * per-sweep aggregates (wall clock, pool speedup, cache hits,
+ * instrs/s), one record per job (with a stat digest and any trace
+ * artifacts), the self-profiler totals when TM_PROF is on, and any
+ * warnings raised during the sweep. scripts/perf_history.py appends
+ * these manifests to bench/history/history.jsonl.
  */
 void writeSweepReport(const SweepReport &rep, const std::string &sweepName,
                       const std::string &path);

@@ -4,6 +4,7 @@
 
 #include "support/bitops.hh"
 #include "support/logging.hh"
+#include "support/prof.hh"
 #include "trace/trace.hh"
 
 namespace tm3270
@@ -68,6 +69,7 @@ Lsu::servicePrefetches(Cycles now)
 {
     if (now < pfInflightNextDone)
         return; // provable no-op: nothing in flight completes by now
+    TM_PROF_SCOPE(prof::Scope::PrefetchService);
     for (size_t i = 0; i < inflightPf.size();) {
         if (inflightPf[i].done > now) {
             ++i;
@@ -97,6 +99,7 @@ Lsu::tryIssuePrefetch(Cycles now)
 {
     if (pfQueue.empty() || inflightPf.size() >= cfg.maxInflightPrefetch)
         return; // provable no-op
+    TM_PROF_SCOPE(prof::Scope::PrefetchIssue);
     while (inflightPf.size() < cfg.maxInflightPrefetch && !pfQueue.empty()) {
         Addr la = pfQueue.front();
         if (dc.probe(la) >= 0) {
@@ -195,6 +198,7 @@ Lsu::ensureLineForLoad(Addr line_addr, unsigned offset, unsigned len,
         return stall;
     }
 
+    TM_PROF_SCOPE(prof::Scope::LsuRefill);
     hLoadLineMisses.inc();
     TM_TRACE_EVENT(tracer,
                    way >= 0 ? Ev::DcacheValidityMiss : Ev::DcacheLoadMiss,
@@ -249,6 +253,7 @@ Lsu::ensureLineForStore(Addr line_addr, Cycles now, int &way_out)
         return stall;
     }
 
+    TM_PROF_SCOPE(prof::Scope::LsuRefill);
     hStoreLineMisses.inc();
     TM_TRACE_EVENT(tracer, Ev::DcacheStoreMiss, now, 0, line_addr);
     Cycles stall = 0;

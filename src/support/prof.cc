@@ -1,0 +1,156 @@
+#include "support/prof.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace tm3270::prof
+{
+
+namespace
+{
+
+/** Display metadata: name plus the nominal parent used for dump
+ *  indentation. The *measured* child attribution is dynamic (whatever
+ *  scopes actually nested at run time); this table only shapes the
+ *  text report, matching the dominant nesting in practice. */
+struct ScopeInfo
+{
+    const char *name;
+    int parent; ///< index into the Scope enum; -1 = top level
+};
+
+constexpr int kNoParent = -1;
+
+constexpr ScopeInfo kScopes[size_t(Scope::NumScopes)] = {
+    // clang-format off
+    {"compile",          kNoParent},
+    {"workload.stage",   kNoParent},
+    {"core.run",         kNoParent},
+    {"predecode",        int(Scope::CoreRun)},
+    {"lsu.refill",       int(Scope::CoreRun)},
+    {"prefetch.service", int(Scope::CoreRun)},
+    {"prefetch.issue",   int(Scope::CoreRun)},
+    {"workload.verify",  kNoParent},
+    {"trace.serialize",  kNoParent},
+    // clang-format on
+};
+
+/** The innermost open scope of this thread (intrusive stack through
+ *  ScopeTimer::parent). Thread-local, so scope nesting never crosses
+ *  threads and the bookkeeping is race-free by construction. */
+static thread_local ScopeTimer *tTop = nullptr;
+
+/** The calling thread's attached profiler (null: profiling off). */
+static thread_local Profiler *tProfiler = nullptr;
+
+uint64_t
+nowNs()
+{
+    using namespace std::chrono;
+    return uint64_t(
+        duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+const char *
+scopeName(Scope s)
+{
+    tm_assert(s < Scope::NumScopes, "bad prof scope %u", unsigned(s));
+    return kScopes[size_t(s)].name;
+}
+
+Profiler *
+current()
+{
+    return tProfiler;
+}
+
+Profiler *
+attach(Profiler *p)
+{
+    Profiler *old = tProfiler;
+    tProfiler = p;
+    return old;
+}
+
+Profiler *
+envProfiler()
+{
+    // tm-lint: allow(T1) write-once under the magic-static guard, then
+    // read-only; the Profiler it points to is internally thread-safe.
+    static Profiler *g = []() -> Profiler * {
+        const char *e = std::getenv("TM_PROF");
+        if (e == nullptr || *e == '\0' || std::strcmp(e, "0") == 0)
+            return nullptr;
+        return new Profiler;
+    }();
+    return g;
+}
+
+void
+ScopeTimer::begin(Scope s)
+{
+    prof = tProfiler;
+    scope = s;
+    parent = tTop;
+    tTop = this;
+    startNs = nowNs();
+}
+
+void
+ScopeTimer::end()
+{
+    uint64_t elapsed = nowNs() - startNs;
+    tTop = parent;
+    if (parent != nullptr)
+        parent->childNs += elapsed;
+    prof->add(scope, elapsed, childNs, parent == nullptr);
+}
+
+void
+Profiler::writeText(std::ostream &os) const
+{
+    const uint64_t root = rootNs();
+    os << "host-time profile (TM_PROF):\n";
+    if (root == 0) {
+        os << "  (no scopes recorded)\n";
+        return;
+    }
+
+    // Emit in enum order, children directly under their nominal
+    // parent, skipping scopes that never ran.
+    auto emit = [&](auto &&self, int parent, int depth) -> void {
+        for (size_t i = 0; i < size_t(Scope::NumScopes); ++i) {
+            if (kScopes[i].parent != parent)
+                continue;
+            Totals t = totals(Scope(i));
+            if (t.calls == 0) {
+                self(self, int(i), depth + 1);
+                continue;
+            }
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "  %*s%-*s %9.3f ms total  %9.3f ms self  "
+                          "%10llu calls  %5.1f%%\n",
+                          depth * 2, "", 18 - depth * 2, kScopes[i].name,
+                          double(t.ns) / 1e6, double(t.selfNs()) / 1e6,
+                          static_cast<unsigned long long>(t.calls),
+                          100.0 * double(t.ns) / double(root));
+            os << buf;
+            self(self, int(i), depth + 1);
+        }
+    };
+    emit(emit, kNoParent, 0);
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "  top-level scope total: %.3f ms\n", double(root) / 1e6);
+    os << buf;
+}
+
+} // namespace tm3270::prof

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Host-side self-profiler (DESIGN.md §11): scoped wall-clock timers
+ * that attribute where the *simulator's* host time goes — compile,
+ * predecode, the core run loop, demand refills, the prefetch engine,
+ * trace serialization — as opposed to src/trace, which observes the
+ * *simulated machine*.
+ *
+ * Zero cost when off, by the same discipline as TM_TRACE_EVENT: every
+ * site goes through the TM_PROF_SCOPE macro, which reads one
+ * thread-local `Profiler *` (null by default) and takes a never-taken
+ * [[unlikely]] branch. No clock is read, no state is touched, and —
+ * the D2-analogous rule P1, enforced by scripts/tm_lint.py — the
+ * macro's argument must be side-effect-free, so compiling the probes
+ * in cannot perturb simulation results (golden-stats bit-identity and
+ * the simrate gate both run with the probes compiled in but off).
+ *
+ * When on (TM_PROF=1 in the environment, or an explicitly attached
+ * Profiler), each scope records inclusive wall time, call count and
+ * time spent in nested scopes, so both total and self time per scope
+ * are available. Accumulation uses relaxed atomics: one Profiler can
+ * be shared by every sweep worker thread; the enter/exit bookkeeping
+ * itself is chained through thread-local state and never contends.
+ *
+ * The profiler only ever *reads* clocks and writes its own counters:
+ * it is observation-only by construction. Scope placement keeps even
+ * the profiling-ON overhead off the per-instruction path — scopes sit
+ * on once-per-run, once-per-static-instruction and per-miss
+ * boundaries, never inside the issue loop.
+ */
+
+#ifndef TM3270_SUPPORT_PROF_HH
+#define TM3270_SUPPORT_PROF_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+
+namespace tm3270::prof
+{
+
+/** Instrumented host-time scopes. Display names, and the nominal
+ *  nesting used by the hierarchical dump, live in prof.cc. */
+enum class Scope : uint8_t
+{
+    Compile,        ///< tir::compile (schedule + encode)
+    Stage,          ///< workload input staging into simulated memory
+    CoreRun,        ///< Processor::run loop; self time = core step
+    Predecode,      ///< decode + predecode of a static instruction
+    LsuRefill,      ///< demand-miss refill (load or store side)
+    PrefetchService,///< prefetch completions installing lines
+    PrefetchIssue,  ///< prefetch queue -> bus issue
+    Verify,         ///< workload output verification vs host reference
+    TraceSerialize, ///< Chrome-trace JSON / interval CSV writers
+    NumScopes
+};
+
+/** Fully-qualified display name ("lsu.refill") of a scope. */
+const char *scopeName(Scope s);
+
+/**
+ * Accumulates per-scope host time. Thread-safe: add() uses relaxed
+ * atomic increments, so one instance may be installed on any number
+ * of threads at once (sweep workers share the driver's profiler).
+ */
+class Profiler
+{
+  public:
+    struct Totals
+    {
+        uint64_t ns = 0;      ///< inclusive wall time
+        uint64_t childNs = 0; ///< time inside nested scopes
+        uint64_t calls = 0;
+
+        uint64_t selfNs() const { return ns > childNs ? ns - childNs : 0; }
+    };
+
+    /** Fold one completed scope interval in (called by ScopeTimer). */
+    void
+    add(Scope s, uint64_t ns, uint64_t child_ns, bool top_level) noexcept
+    {
+        Cell &c = cells[size_t(s)];
+        c.ns.fetch_add(ns, std::memory_order_relaxed);
+        c.childNs.fetch_add(child_ns, std::memory_order_relaxed);
+        c.calls.fetch_add(1, std::memory_order_relaxed);
+        if (top_level)
+            rootNs_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    Totals
+    totals(Scope s) const
+    {
+        const Cell &c = cells[size_t(s)];
+        return {c.ns.load(std::memory_order_relaxed),
+                c.childNs.load(std::memory_order_relaxed),
+                c.calls.load(std::memory_order_relaxed)};
+    }
+
+    /** Wall time covered by top-level scopes (no enclosing scope on
+     *  the recording thread): the "accounted for" numerator of the
+     *  coverage check in examples/trace_capture. */
+    uint64_t
+    rootNs() const
+    {
+        return rootNs_.load(std::memory_order_relaxed);
+    }
+
+    /** Forget all accumulated time. */
+    void
+    reset()
+    {
+        for (Cell &c : cells) {
+            c.ns.store(0, std::memory_order_relaxed);
+            c.childNs.store(0, std::memory_order_relaxed);
+            c.calls.store(0, std::memory_order_relaxed);
+        }
+        rootNs_.store(0, std::memory_order_relaxed);
+    }
+
+    /**
+     * Human-readable hierarchical dump: one line per exercised scope,
+     * indented by its nominal nesting, with total/self milliseconds,
+     * call counts and the share of top-level time.
+     */
+    void writeText(std::ostream &os) const;
+
+  private:
+    struct Cell
+    {
+        std::atomic<uint64_t> ns{0};
+        std::atomic<uint64_t> childNs{0};
+        std::atomic<uint64_t> calls{0};
+    };
+    std::array<Cell, size_t(Scope::NumScopes)> cells;
+    std::atomic<uint64_t> rootNs_{0};
+};
+
+/**
+ * The calling thread's active profiler (null: profiling off). Every
+ * TM_PROF_SCOPE site reads this; it is thread-local so sweep workers
+ * opt in individually and the off-path never needs synchronization.
+ */
+Profiler *current();
+
+/** Install @p p as the calling thread's profiler; returns the
+ *  previous one (restore it to nest instrumented phases). */
+Profiler *attach(Profiler *p);
+
+/**
+ * The process-wide environment-driven profiler: a singleton Profiler
+ * when TM_PROF is set to anything but "" / "0", else null. Harness
+ * entry points (benches, examples, sweep workers) attach it so
+ * `TM_PROF=1 ./any_harness` just works; library code never calls this.
+ */
+Profiler *envProfiler();
+
+/**
+ * RAII scope timer. Constructed cheap: one thread-local read and a
+ * never-taken branch when profiling is off; clocks are only read in
+ * the out-of-line begin()/end() paths.
+ */
+class ScopeTimer
+{
+  public:
+    explicit ScopeTimer(Scope s)
+    {
+        if (current() != nullptr) [[unlikely]]
+            begin(s);
+    }
+
+    ~ScopeTimer()
+    {
+        if (prof != nullptr) [[unlikely]]
+            end();
+    }
+
+    ScopeTimer(const ScopeTimer &) = delete;
+    ScopeTimer &operator=(const ScopeTimer &) = delete;
+
+  private:
+    void begin(Scope s);
+    void end();
+
+    Profiler *prof = nullptr;   ///< null: this scope recorded nothing
+    ScopeTimer *parent = nullptr;
+    uint64_t startNs = 0;
+    uint64_t childNs = 0;       ///< filled in by nested scopes' end()
+    Scope scope = Scope::NumScopes;
+};
+
+#define TM_PROF_CAT2(a, b) a##b
+#define TM_PROF_CAT(a, b) TM_PROF_CAT2(a, b)
+
+/**
+ * Instrumentation-site macro: time the rest of the enclosing block
+ * under @p scope_id iff a profiler is attached to this thread. The
+ * argument must be side-effect-free (lint rule P1): it may be
+ * evaluated zero times per conceptual "event" as far as simulation
+ * semantics are concerned, and the probe must never feed back into
+ * simulated state.
+ */
+#define TM_PROF_SCOPE(scope_id)                                             \
+    ::tm3270::prof::ScopeTimer TM_PROF_CAT(tm_prof_scope_,                  \
+                                           __LINE__)((scope_id))
+
+} // namespace tm3270::prof
+
+#endif // TM3270_SUPPORT_PROF_HH

@@ -1,0 +1,703 @@
+#include "support/report.hh"
+
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "support/prof.hh"
+
+#ifndef TM_GIT_REV
+#define TM_GIT_REV "unknown"
+#endif
+
+namespace tm3270::report
+{
+
+// --------------------------------------------------------------------
+// Json
+// --------------------------------------------------------------------
+
+namespace
+{
+
+const std::string kEmptyString;
+const Json kNullJson;
+
+void
+writeEscaped(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20)
+                os << strfmt("\\u%04x", ch);
+            else
+                os << ch;
+        }
+    }
+    os << '"';
+}
+
+void
+writeDouble(std::ostream &os, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; 0 keeps the document parseable and the
+        // anomaly is visible as an impossible metric value.
+        os << 0;
+        return;
+    }
+    char buf[32];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof buf, d);
+    (void)ec; // 32 bytes always suffice for shortest round-trip
+    std::string_view sv(buf, size_t(p - buf));
+    os << sv;
+    // Keep the value recognizably floating-point after re-parse.
+    if (sv.find_first_of(".eE") == std::string_view::npos)
+        os << ".0";
+}
+
+} // namespace
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    tm_assert(type_ == Type::Object, "Json[key] on a non-object");
+    for (auto &kv : obj_) {
+        if (kv.first == key)
+            return kv.second;
+    }
+    obj_.emplace_back(key, Json());
+    return obj_.back().second;
+}
+
+const Json *
+Json::find(std::string_view key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &kv : obj_) {
+        if (kv.first == key)
+            return &kv.second;
+    }
+    return nullptr;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    tm_assert(type_ == Type::Array, "Json::push on a non-array");
+    arr_.push_back(std::move(v));
+}
+
+bool
+Json::asBool(bool dflt) const
+{
+    return type_ == Type::Bool ? b_ : dflt;
+}
+
+uint64_t
+Json::asUint(uint64_t dflt) const
+{
+    switch (type_) {
+      case Type::Uint: return u_;
+      case Type::Int: return i_ >= 0 ? uint64_t(i_) : dflt;
+      case Type::Double: return d_ >= 0 ? uint64_t(d_) : dflt;
+      default: return dflt;
+    }
+}
+
+int64_t
+Json::asInt(int64_t dflt) const
+{
+    switch (type_) {
+      case Type::Uint: return int64_t(u_);
+      case Type::Int: return i_;
+      case Type::Double: return int64_t(d_);
+      default: return dflt;
+    }
+}
+
+double
+Json::asDouble(double dflt) const
+{
+    switch (type_) {
+      case Type::Uint: return double(u_);
+      case Type::Int: return double(i_);
+      case Type::Double: return d_;
+      default: return dflt;
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    return type_ == Type::String ? s_ : kEmptyString;
+}
+
+size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    return 0;
+}
+
+const Json &
+Json::at(size_t i) const
+{
+    if (type_ != Type::Array || i >= arr_.size())
+        return kNullJson;
+    return arr_[i];
+}
+
+const std::pair<std::string, Json> &
+Json::member(size_t i) const
+{
+    tm_assert(type_ == Type::Object && i < obj_.size(),
+              "Json::member out of range");
+    return obj_[i];
+}
+
+void
+Json::writeIndented(std::ostream &os, int indent) const
+{
+    auto pad = [&os](int n) {
+        for (int k = 0; k < n; ++k)
+            os << ' ';
+    };
+    switch (type_) {
+      case Type::Null:
+        os << "null";
+        break;
+      case Type::Bool:
+        os << (b_ ? "true" : "false");
+        break;
+      case Type::Uint:
+        os << u_;
+        break;
+      case Type::Int:
+        os << i_;
+        break;
+      case Type::Double:
+        writeDouble(os, d_);
+        break;
+      case Type::String:
+        writeEscaped(os, s_);
+        break;
+      case Type::Array: {
+        if (arr_.empty()) {
+            os << "[]";
+            break;
+        }
+        bool scalars = true;
+        for (const Json &e : arr_) {
+            if (e.type_ == Type::Array || e.type_ == Type::Object)
+                scalars = false;
+        }
+        if (scalars && arr_.size() <= 8) {
+            os << '[';
+            for (size_t i = 0; i < arr_.size(); ++i) {
+                if (i)
+                    os << ", ";
+                arr_[i].writeIndented(os, 0);
+            }
+            os << ']';
+            break;
+        }
+        os << "[\n";
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            pad(indent + 2);
+            arr_[i].writeIndented(os, indent + 2);
+            os << (i + 1 < arr_.size() ? ",\n" : "\n");
+        }
+        pad(indent);
+        os << ']';
+        break;
+      }
+      case Type::Object: {
+        if (obj_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            pad(indent + 2);
+            writeEscaped(os, obj_[i].first);
+            os << ": ";
+            obj_[i].second.writeIndented(os, indent + 2);
+            os << (i + 1 < obj_.size() ? ",\n" : "\n");
+        }
+        pad(indent);
+        os << '}';
+        break;
+      }
+    }
+}
+
+void
+Json::write(std::ostream &os) const
+{
+    writeIndented(os, 0);
+    os << '\n';
+}
+
+std::string
+Json::str() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+// --------------------------------------------------------------------
+// Json parser (recursive descent; enough JSON for manifests and the
+// google-benchmark files the perf tooling also reads)
+// --------------------------------------------------------------------
+
+namespace
+{
+
+struct Parser
+{
+    std::string_view t;
+    size_t p = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        size_t line = 1;
+        for (size_t k = 0; k < p && k < t.size(); ++k)
+            line += t[k] == '\n';
+        err = strfmt("line %zu: %s", line, what.c_str());
+        return false;
+    }
+
+    void
+    ws()
+    {
+        while (p < t.size() && (t[p] == ' ' || t[p] == '\t' ||
+                                t[p] == '\n' || t[p] == '\r'))
+            ++p;
+    }
+
+    bool
+    lit(std::string_view word)
+    {
+        if (t.substr(p, word.size()) != word)
+            return false;
+        p += word.size();
+        return true;
+    }
+
+    bool
+    str(std::string &out)
+    {
+        if (p >= t.size() || t[p] != '"')
+            return fail("expected string");
+        ++p;
+        out.clear();
+        while (p < t.size() && t[p] != '"') {
+            char ch = t[p++];
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (p >= t.size())
+                return fail("dangling escape");
+            char e = t[p++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (p + 4 > t.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = t[p++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Manifests are ASCII; encode BMP code points as
+                // UTF-8 so foreign inputs survive a round trip.
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xc0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3f));
+                } else {
+                    out += char(0xe0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3f));
+                    out += char(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (p >= t.size())
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    number(Json &out)
+    {
+        size_t start = p;
+        if (p < t.size() && (t[p] == '-' || t[p] == '+'))
+            ++p;
+        bool floating = false;
+        while (p < t.size() &&
+               (std::isdigit(static_cast<unsigned char>(t[p])) ||
+                t[p] == '.' || t[p] == 'e' || t[p] == 'E' ||
+                t[p] == '+' || t[p] == '-')) {
+            if (t[p] == '.' || t[p] == 'e' || t[p] == 'E')
+                floating = true;
+            ++p;
+        }
+        std::string text(t.substr(start, p - start));
+        if (text.empty() || text == "-" || text == "+")
+            return fail("expected number");
+        if (floating) {
+            out = Json(std::strtod(text.c_str(), nullptr));
+        } else if (text[0] == '-') {
+            out = Json(int64_t(std::strtoll(text.c_str(), nullptr, 10)));
+        } else {
+            out = Json(uint64_t(std::strtoull(text.c_str(), nullptr, 10)));
+        }
+        return true;
+    }
+
+    bool
+    value(Json &out, int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        ws();
+        if (p >= t.size())
+            return fail("unexpected end of input");
+        char ch = t[p];
+        if (ch == '{') {
+            ++p;
+            out = Json::object();
+            ws();
+            if (p < t.size() && t[p] == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                ws();
+                std::string key;
+                if (!str(key))
+                    return false;
+                ws();
+                if (p >= t.size() || t[p] != ':')
+                    return fail("expected ':'");
+                ++p;
+                Json v;
+                if (!value(v, depth + 1))
+                    return false;
+                out[key] = std::move(v);
+                ws();
+                if (p < t.size() && t[p] == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < t.size() && t[p] == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (ch == '[') {
+            ++p;
+            out = Json::array();
+            ws();
+            if (p < t.size() && t[p] == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                Json v;
+                if (!value(v, depth + 1))
+                    return false;
+                out.push(std::move(v));
+                ws();
+                if (p < t.size() && t[p] == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < t.size() && t[p] == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (ch == '"') {
+            std::string s;
+            if (!str(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (lit("true")) {
+            out = Json(true);
+            return true;
+        }
+        if (lit("false")) {
+            out = Json(false);
+            return true;
+        }
+        if (lit("null")) {
+            out = Json();
+            return true;
+        }
+        return number(out);
+    }
+};
+
+} // namespace
+
+bool
+Json::parse(std::string_view text, Json &out, std::string &err)
+{
+    Parser ps;
+    ps.t = text;
+    if (!ps.value(out, 0)) {
+        err = ps.err;
+        return false;
+    }
+    ps.ws();
+    if (ps.p != text.size()) {
+        err = strfmt("trailing garbage at offset %zu", ps.p);
+        return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Digest + context
+// --------------------------------------------------------------------
+
+uint64_t
+fnv1a(std::string_view s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char ch : s) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+statDigest(std::string_view dump)
+{
+    return strfmt("fnv1a:%016llx",
+                  static_cast<unsigned long long>(fnv1a(dump)));
+}
+
+Json
+hostContext()
+{
+    Json ctx = Json::object();
+    ctx["git_rev"] = Json(TM_GIT_REV);
+#ifdef __VERSION__
+    ctx["compiler"] = Json(std::string("gcc-compatible ") + __VERSION__);
+#else
+    ctx["compiler"] = Json("unknown");
+#endif
+#ifdef NDEBUG
+    ctx["build_type"] = Json("release");
+#else
+    ctx["build_type"] = Json("debug");
+#endif
+    ctx["num_cpus"] = Json(unsigned(std::thread::hardware_concurrency()));
+    if (const char *e = std::getenv("TM_JOBS"))
+        ctx["tm_jobs"] = Json(e);
+    // tm-lint: allow(D1) wall-clock timestamp is manifest metadata
+    // describing the host run, never simulation output; simulated time
+    // comes from the cycle counter only.
+    using WallClock = std::chrono::system_clock;
+    ctx["created_unix_ms"] = Json(uint64_t(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            WallClock::now().time_since_epoch())
+            .count()));
+    return ctx;
+}
+
+Json
+profileJson(const prof::Profiler &p)
+{
+    Json out = Json::object();
+    out["root_ms"] = Json(double(p.rootNs()) / 1e6);
+    Json scopes = Json::array();
+    for (size_t i = 0; i < size_t(prof::Scope::NumScopes); ++i) {
+        prof::Profiler::Totals t = p.totals(prof::Scope(i));
+        if (t.calls == 0)
+            continue;
+        Json s = Json::object();
+        s["name"] = Json(prof::scopeName(prof::Scope(i)));
+        s["total_ms"] = Json(double(t.ns) / 1e6);
+        s["self_ms"] = Json(double(t.selfNs()) / 1e6);
+        s["calls"] = Json(t.calls);
+        scopes.push(std::move(s));
+    }
+    out["scopes"] = std::move(scopes);
+    return out;
+}
+
+// --------------------------------------------------------------------
+// RunReport
+// --------------------------------------------------------------------
+
+RunReport::RunReport(std::string kind, std::string name)
+{
+    doc_["schema"] = Json(kManifestSchema);
+    doc_["kind"] = Json(std::move(kind));
+    doc_["name"] = Json(std::move(name));
+    doc_["context"] = hostContext();
+    // Section placeholders fix the output order; write() elides the
+    // ones that stay empty.
+    doc_["aggregate"] = Json::object();
+    doc_["benchmarks"] = Json::array();
+    doc_["jobs"] = Json::array();
+    doc_["artifacts"] = Json::array();
+    doc_["profile"] = Json::object();
+    doc_["warnings"] = Json::array();
+}
+
+Json &
+RunReport::context()
+{
+    return doc_["context"];
+}
+
+Json &
+RunReport::aggregate()
+{
+    return doc_["aggregate"];
+}
+
+void
+RunReport::addBenchmark(Json v)
+{
+    doc_["benchmarks"].push(std::move(v));
+}
+
+void
+RunReport::addJob(Json v)
+{
+    doc_["jobs"].push(std::move(v));
+}
+
+void
+RunReport::addArtifact(const std::string &kind, const std::string &path)
+{
+    Json a = Json::object();
+    a["kind"] = Json(kind);
+    a["path"] = Json(path);
+    doc_["artifacts"].push(std::move(a));
+}
+
+void
+RunReport::addWarning(const std::string &msg)
+{
+    doc_["warnings"].push(Json(msg));
+}
+
+void
+RunReport::setProfile(const prof::Profiler *p)
+{
+    if (p == nullptr)
+        return;
+    doc_["profile"] = profileJson(*p);
+}
+
+void
+RunReport::write(std::ostream &os) const
+{
+    Json out = Json::object();
+    for (size_t i = 0; i < doc_.size(); ++i) {
+        const auto &[key, val] = doc_.member(i);
+        bool container = val.type() == Json::Type::Array ||
+                         val.type() == Json::Type::Object;
+        if (container && val.size() == 0)
+            continue; // unused section
+        out[key] = val;
+    }
+    out.write(os);
+}
+
+bool
+RunReport::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write run manifest to %s", path.c_str());
+        return false;
+    }
+    write(os);
+    return bool(os);
+}
+
+// --------------------------------------------------------------------
+// WarnCapture
+// --------------------------------------------------------------------
+
+WarnCapture::WarnCapture(RunReport &rep) : rep_(rep)
+{
+    prev_ = setWarnSink([this](const std::string &msg) {
+        // Called under the logging mutex: captured_ needs no lock of
+        // its own, and forwarding preserves whole-line ordering.
+        captured_.push_back(msg);
+        if (prev_)
+            prev_(msg);
+        else
+            std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    });
+}
+
+WarnCapture::~WarnCapture()
+{
+    setWarnSink(std::move(prev_));
+    for (const std::string &msg : captured_)
+        rep_.addWarning(msg);
+}
+
+} // namespace tm3270::report

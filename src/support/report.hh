@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Run manifests (DESIGN.md §11): one schema-versioned JSON document
+ * per harness run, so every bench, sweep and example leaves the same
+ * machine-readable evidence behind — who built it (git revision,
+ * compiler, build type), where it ran (CPU count, worker pool, CPU
+ * frequency-scaling state), what it did (workloads, configs, per-job
+ * wall times, simrate), what it produced (stat digest, trace/interval
+ * artifact paths, self-profiler totals) and what looked suspicious
+ * (captured warn() messages).
+ *
+ * scripts/perf_history.py appends manifests to
+ * bench/history/history.jsonl and runs regression detection over
+ * them; scripts/check_simrate.py gates on the "benchmarks" section.
+ * The schema is deliberately a superset of what those consumers need:
+ * a manifest answers "what exactly was this number measured on?"
+ * months later, when the build directory is long gone.
+ *
+ * The Json value type here is ordered (object keys keep insertion
+ * order) and writes deterministically, so two identical runs produce
+ * byte-identical manifests modulo the timestamp and wall times —
+ * which is what makes the stat digest a meaningful fingerprint.
+ */
+
+#ifndef TM3270_SUPPORT_REPORT_HH
+#define TM3270_SUPPORT_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace tm3270::prof
+{
+class Profiler;
+}
+
+namespace tm3270::report
+{
+
+/** Manifest schema identifier; bump on incompatible layout changes. */
+inline constexpr const char *kManifestSchema = "tm3270.run_manifest.v1";
+
+/**
+ * A JSON value with *ordered* object keys (insertion order, the way
+ * the document was built) — manifests are meant to be read by humans
+ * in `jq`-less terminals too, so "schema" stays on top. Supports the
+ * full JSON data model; numbers keep their integer-ness (uint64 /
+ * int64) when they have one, so stat counters round-trip exactly.
+ */
+class Json
+{
+  public:
+    enum class Type : uint8_t
+    {
+        Null,
+        Bool,
+        Uint,   ///< non-negative integer literal
+        Int,    ///< negative integer literal
+        Double,
+        String,
+        Array,
+        Object
+    };
+
+    Json() = default;
+    Json(bool v) : type_(Type::Bool), b_(v) {}
+    Json(uint64_t v) : type_(Type::Uint), u_(v) {}
+    Json(int64_t v)
+        : type_(v < 0 ? Type::Int : Type::Uint), i_(v)
+    {
+        if (v >= 0)
+            u_ = uint64_t(v);
+    }
+    Json(int v) : Json(int64_t(v)) {}
+    Json(unsigned v) : Json(uint64_t(v)) {}
+    Json(double v) : type_(Type::Double), d_(v) {}
+    Json(std::string v) : type_(Type::String), s_(std::move(v)) {}
+    Json(const char *v) : type_(Type::String), s_(v) {}
+
+    static Json array() { Json j; j.type_ = Type::Array; return j; }
+    static Json object() { Json j; j.type_ = Type::Object; return j; }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+
+    /** Object access: insert-or-get, preserving insertion order.
+     *  Converts a Null value into an Object on first use. */
+    Json &operator[](const std::string &key);
+
+    /** Object lookup; null when absent or not an object. */
+    const Json *find(std::string_view key) const;
+
+    /** Array append. Converts a Null value into an Array on first
+     *  use. */
+    void push(Json v);
+
+    // Scalar accessors (loose: return a fallback on type mismatch, so
+    // consumers of foreign manifests degrade instead of crashing).
+    bool asBool(bool dflt = false) const;
+    uint64_t asUint(uint64_t dflt = 0) const;
+    int64_t asInt(int64_t dflt = 0) const;
+    double asDouble(double dflt = 0.0) const; ///< coerces integers
+    const std::string &asString() const; ///< empty on mismatch
+
+    size_t size() const; ///< elements (array) or members (object)
+    const Json &at(size_t i) const;           ///< array element
+    const std::pair<std::string, Json> &member(size_t i) const;
+
+    /** Serialize with 2-space indentation and a trailing newline at
+     *  top level. Deterministic: depends only on the value. */
+    void write(std::ostream &os) const;
+    std::string str() const;
+
+    /** Parse @p text; false (with @p err set) on malformed input. */
+    static bool parse(std::string_view text, Json &out, std::string &err);
+
+  private:
+    void writeIndented(std::ostream &os, int indent) const;
+
+    Type type_ = Type::Null;
+    bool b_ = false;
+    uint64_t u_ = 0;
+    int64_t i_ = 0;
+    double d_ = 0.0;
+    std::string s_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/** FNV-1a 64-bit hash (stable across platforms and runs). */
+uint64_t fnv1a(std::string_view s);
+
+/** Fingerprint of a full stat dump: "fnv1a:<16 hex digits>". Two
+ *  bit-identical dumps — the golden-stats invariant — digest
+ *  identically, so manifests can prove stat stability without
+ *  embedding the multi-KB dump itself. */
+std::string statDigest(std::string_view dump);
+
+/**
+ * Host/build context shared by every manifest: git revision (baked in
+ * at configure time), compiler version, build type, CPU count, the
+ * TM_JOBS override if any, and a wall-clock timestamp. Callers add
+ * run-specific keys (worker count, CPU scaling state) on top.
+ */
+Json hostContext();
+
+/**
+ * Builder for one run manifest. Fixes the section order (schema,
+ * kind, name, context, aggregate, benchmarks/jobs, artifacts,
+ * profile, warnings) so every manifest reads the same way.
+ */
+class RunReport
+{
+  public:
+    /** @p kind is the manifest flavor ("sweep", "simrate",
+     *  "example"); @p name identifies the harness ("figure7"). */
+    RunReport(std::string kind, std::string name);
+
+    /** The context object (pre-filled by hostContext()); add
+     *  run-specific keys through this. */
+    Json &context();
+
+    /** Whole-run aggregate metrics (wall clock, simrate, ...). */
+    Json &aggregate();
+
+    /** Append one benchmark record (simrate-style manifests). Keys
+     *  "name" / "items_per_second" / "run_type" keep
+     *  scripts/check_simrate.py working on manifests. */
+    void addBenchmark(Json v);
+
+    /** Append one job record (sweep-style manifests). */
+    void addJob(Json v);
+
+    /** Register a produced file (kind: "trace", "intervals", ...). */
+    void addArtifact(const std::string &kind, const std::string &path);
+
+    /** Append one warning message. */
+    void addWarning(const std::string &msg);
+
+    /** Fold the self-profiler's totals into the manifest (call once,
+     *  after the measured work). No-op when @p p is null. */
+    void setProfile(const prof::Profiler *p);
+
+    /** The manifest document (for tests and custom consumers). */
+    const Json &doc() const { return doc_; }
+
+    /** Write the manifest; empty sections are omitted. */
+    void write(std::ostream &os) const;
+
+    /** Write to @p path; warn() and return false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    Json doc_;
+};
+
+/**
+ * RAII warn() capture: while alive, every warning is forwarded to the
+ * previously installed sink (or stderr) AND recorded; the destructor
+ * restores the previous sink and appends the captured messages to the
+ * report's "warnings" section. Nesting works (inner captures see and
+ * forward to outer ones). Not for use across sweep worker threads'
+ * lifetimes — construct before the pool starts, destroy after it
+ * joins, and the mutex inside warn() serializes the rest.
+ */
+class WarnCapture
+{
+  public:
+    explicit WarnCapture(RunReport &rep);
+    ~WarnCapture();
+
+    WarnCapture(const WarnCapture &) = delete;
+    WarnCapture &operator=(const WarnCapture &) = delete;
+
+  private:
+    RunReport &rep_;
+    WarnSink prev_;
+    std::vector<std::string> captured_;
+};
+
+/** Convert the Profiler's totals into the manifest "profile" object
+ *  (also used by examples that print and embed the same data). */
+Json profileJson(const prof::Profiler &p);
+
+} // namespace tm3270::report
+
+#endif // TM3270_SUPPORT_REPORT_HH

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "support/logging.hh"
+#include "support/prof.hh"
 
 namespace tm3270::tir
 {
@@ -651,6 +652,7 @@ Compiler::run()
 CompiledProgram
 compile(const TirProgram &prog, const SchedConfig &cfg)
 {
+    TM_PROF_SCOPE(prof::Scope::Compile);
     Compiler c(prog, cfg);
     return c.run();
 }

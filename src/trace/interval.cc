@@ -1,6 +1,7 @@
 #include "trace/interval.hh"
 
 #include "support/logging.hh"
+#include "support/prof.hh"
 
 namespace tm3270::trace
 {
@@ -47,6 +48,7 @@ struct Delta
 void
 IntervalSampler::writeCsv(std::ostream &os) const
 {
+    TM_PROF_SCOPE(prof::Scope::TraceSerialize);
     os << "cycle,instrs,ops,stall_cycles,icache_accesses,icache_misses,"
           "loads,load_line_misses,prefetch_installed,prefetch_useful,"
           "ipc,stall_frac,icache_miss_rate,load_miss_rate,"
@@ -75,6 +77,7 @@ IntervalSampler::writeCsv(std::ostream &os) const
 void
 IntervalSampler::writeJson(std::ostream &os) const
 {
+    TM_PROF_SCOPE(prof::Scope::TraceSerialize);
     os << "[\n";
     SampleRow prev{};
     for (size_t i = 0; i < series.size(); ++i) {

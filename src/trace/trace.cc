@@ -1,6 +1,7 @@
 #include "trace/trace.hh"
 
 #include "support/logging.hh"
+#include "support/prof.hh"
 
 namespace tm3270::trace
 {
@@ -77,6 +78,15 @@ kindInfo(Ev kind)
 void
 Tracer::writeChromeJson(std::ostream &os) const
 {
+    TM_PROF_SCOPE(prof::Scope::TraceSerialize);
+    hRecorded.set(total);
+    hDropped.set(dropped());
+    if (dropped() > 0) {
+        warn("trace ring overflow: %llu of %llu events overwritten "
+             "(oldest lost); raise TM_TRACE_RING to retain more",
+             static_cast<unsigned long long>(dropped()),
+             static_cast<unsigned long long>(total));
+    }
     os << "{\n\"otherData\": {\"cycles_per_us\": 1, \"recorded\": " << total
        << ", \"dropped\": " << dropped() << "},\n";
     os << "\"traceEvents\": [\n";

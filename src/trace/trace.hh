@@ -32,6 +32,7 @@
 #include <ostream>
 #include <vector>
 
+#include "support/stats.hh"
 #include "support/types.hh"
 
 namespace tm3270::trace
@@ -98,6 +99,17 @@ class Tracer
         : ring(capacity ? capacity : 1)
     {}
 
+    /**
+     * The tracer's own stat group ("trace.events_recorded" /
+     * "trace.events_dropped"), refreshed by writeChromeJson().
+     * Deliberately NOT attached to any System stat group: the tracer
+     * is an observer, and its counters in the architectural dump
+     * would break the traced-equals-untraced bit-identity gate
+     * (tests/test_trace.cc). Harnesses that want the numbers in a
+     * manifest read this group directly.
+     */
+    const StatGroup &stats() const { return statGroup; }
+
     /** Record one event. Hot when tracing is on: one store + index
      *  wrap, no allocation, no branches on event kind. */
     void
@@ -157,6 +169,14 @@ class Tracer
     std::vector<Event> ring;
     size_t head = 0;    ///< next write position
     uint64_t total = 0; ///< lifetime event count
+
+    /** Observer-side stats; see stats(). Handles are interned up
+     *  front so writeChromeJson() (const) can set them without a map
+     *  lookup; publishing from the serialization path keeps the
+     *  record() hot path a plain store. */
+    StatGroup statGroup{"trace"};
+    StatHandle hRecorded = statGroup.handle("events_recorded");
+    StatHandle hDropped = statGroup.handle("events_dropped");
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "workloads/workload.hh"
 
 #include "support/logging.hh"
+#include "support/prof.hh"
 
 namespace tm3270::workloads
 {
@@ -9,12 +10,16 @@ RunOutcome
 runWorkloadOn(System &sys, const Workload &w, const EncodedProgram &prog)
 {
     RunOutcome o;
-    w.init(sys);
+    {
+        TM_PROF_SCOPE(prof::Scope::Stage);
+        w.init(sys);
+    }
     o.run = sys.runProgram(prog);
     if (!o.run.halted) {
         o.error = strfmt("workload %s did not halt", w.name.c_str());
         return o;
     }
+    TM_PROF_SCOPE(prof::Scope::Verify);
     std::string err;
     if (!w.verify(sys, err)) {
         o.error = strfmt("workload %s failed verification: %s",

@@ -1,0 +1,58 @@
+// tm-lint-fixture: expect P1
+//
+// Seeded violation: TM_PROF_SCOPE argument lists with side effects.
+// The self-profiler's scope macro reads one thread-local pointer and
+// does nothing else when profiling is off, so an argument that
+// mutates state would make TM_PROF=1 runs diverge from profiled-off
+// runs — the exact coupling rule P1 (the D2 analogue for
+// support/prof.hh) exists to forbid.
+
+#include <cstdint>
+
+namespace prof
+{
+enum class Scope : uint8_t { CoreRun, LsuRefill, NumScopes };
+
+struct ScopeTimer
+{
+    explicit ScopeTimer(Scope s);
+    ~ScopeTimer();
+};
+} // namespace prof
+
+#define TM_PROF_CAT2(a, b) a##b
+#define TM_PROF_CAT(a, b) TM_PROF_CAT2(a, b)
+#define TM_PROF_SCOPE(scope_id)                                             \
+    ::prof::ScopeTimer TM_PROF_CAT(tm_prof_scope_, __LINE__)((scope_id))
+
+namespace fixture
+{
+
+struct Counter
+{
+    uint64_t n = 0;
+    void inc() { ++n; }
+};
+
+struct Core
+{
+    Counter refills;
+    int phase = 0;
+
+    prof::Scope
+    pickScope()
+    {
+        // Violation: increment inside the macro's argument list.
+        TM_PROF_SCOPE(static_cast<prof::Scope>(phase++));
+        return prof::Scope::CoreRun;
+    }
+
+    void
+    refill()
+    {
+        // Violation: mutating method call inside the argument list.
+        TM_PROF_SCOPE((refills.inc(), prof::Scope::LsuRefill));
+    }
+};
+
+} // namespace fixture

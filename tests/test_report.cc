@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit tests for the run-manifest layer (support/report.hh): the
+ * ordered Json value type round-trips through its own parser, a
+ * RunReport emits a schema-valid tm3270.run_manifest.v1 document,
+ * stat digests are stable fingerprints, warn() capture lands in the
+ * warnings section, and self-profiler totals fold into "profile".
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "support/logging.hh"
+#include "support/prof.hh"
+#include "support/report.hh"
+
+using namespace tm3270;
+using report::Json;
+
+namespace
+{
+
+Json
+reparse(const Json &j)
+{
+    Json out;
+    std::string err;
+    EXPECT_TRUE(Json::parse(j.str(), out, err)) << err;
+    return out;
+}
+
+} // namespace
+
+TEST(Json, ScalarTypesSurviveRoundTrip)
+{
+    Json j = Json::object();
+    j["null"] = Json();
+    j["t"] = Json(true);
+    j["f"] = Json(false);
+    j["u"] = Json(uint64_t(18446744073709551615ull)); // UINT64_MAX
+    j["i"] = Json(int64_t(-42));
+    j["d"] = Json(1.5);
+    j["whole"] = Json(3.0); // double that looks integral
+    j["s"] = Json("line1\nline2\t\"quoted\" \\slash");
+
+    Json r = reparse(j);
+    EXPECT_TRUE(r.find("null")->isNull());
+    EXPECT_TRUE(r.find("t")->asBool());
+    EXPECT_FALSE(r.find("f")->asBool(true));
+    EXPECT_EQ(r.find("u")->asUint(), 18446744073709551615ull);
+    EXPECT_EQ(r.find("u")->type(), Json::Type::Uint);
+    EXPECT_EQ(r.find("i")->asInt(), -42);
+    EXPECT_EQ(r.find("i")->type(), Json::Type::Int);
+    EXPECT_DOUBLE_EQ(r.find("d")->asDouble(), 1.5);
+    // "3.0" must stay a double on re-parse (trailing ".0" written).
+    EXPECT_EQ(r.find("whole")->type(), Json::Type::Double);
+    EXPECT_DOUBLE_EQ(r.find("whole")->asDouble(), 3.0);
+    EXPECT_EQ(r.find("s")->asString(),
+              "line1\nline2\t\"quoted\" \\slash");
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder)
+{
+    Json j = Json::object();
+    j["zeta"] = Json(1);
+    j["alpha"] = Json(2);
+    j["mid"] = Json(3);
+    ASSERT_EQ(j.size(), 3u);
+    EXPECT_EQ(j.member(0).first, "zeta");
+    EXPECT_EQ(j.member(1).first, "alpha");
+    EXPECT_EQ(j.member(2).first, "mid");
+
+    // Order survives serialization + parsing (the parser keeps
+    // document order too).
+    Json r = reparse(j);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.member(0).first, "zeta");
+    EXPECT_EQ(r.member(2).first, "mid");
+}
+
+TEST(Json, SerializationIsDeterministic)
+{
+    auto build = [] {
+        Json j = Json::object();
+        j["a"] = Json(uint64_t(7));
+        j["arr"].push(Json(1));
+        j["arr"].push(Json("x"));
+        j["nested"]["k"] = Json(2.25);
+        return j;
+    };
+    EXPECT_EQ(build().str(), build().str());
+    // write(ostream) and str() agree.
+    std::ostringstream os;
+    build().write(os);
+    EXPECT_EQ(os.str(), build().str());
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    Json out;
+    std::string err;
+    for (const char *bad : {
+             "",            // empty
+             "{",           // unterminated object
+             "[1, 2,,]",    // stray comma
+             "{\"a\" 1}",   // missing colon
+             "\"\\q\"",     // bad escape
+             "1 2",         // trailing garbage
+             "nul",         // truncated literal
+         }) {
+        err.clear();
+        EXPECT_FALSE(Json::parse(bad, out, err)) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    Json out;
+    std::string err;
+    ASSERT_TRUE(Json::parse("\"\\u00e9\\u0041\"", out, err)) << err;
+    EXPECT_EQ(out.asString(), "\xc3\xa9"
+                              "A");
+}
+
+TEST(StatDigest, StableAndDiscriminating)
+{
+    // FNV-1a is fully specified: pin one known vector so the digest
+    // can never silently change across platforms or refactors.
+    EXPECT_EQ(report::fnv1a(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(report::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+
+    std::string dump = "cpu.cycles 123\nlsu.loads 456\n";
+    std::string d1 = report::statDigest(dump);
+    EXPECT_EQ(d1, report::statDigest(dump));
+    EXPECT_EQ(d1.rfind("fnv1a:", 0), 0u);
+    EXPECT_EQ(d1.size(), 6 + 16u); // "fnv1a:" + 16 hex digits
+    EXPECT_NE(d1, report::statDigest("cpu.cycles 124\nlsu.loads 456\n"));
+}
+
+TEST(RunReport, EmitsSchemaValidManifest)
+{
+    report::RunReport rep("bench", "unit");
+    rep.context()["workers"] = Json(4u);
+    rep.aggregate()["wall_ms"] = Json(12.5);
+    Json b = Json::object();
+    b["name"] = Json("BM_Unit");
+    b["run_type"] = Json("iteration");
+    b["items_per_second"] = Json(1e6);
+    rep.addBenchmark(std::move(b));
+    rep.addArtifact("trace", "/tmp/unit.trace.json");
+    rep.addWarning("synthetic warning");
+
+    std::ostringstream os;
+    rep.write(os);
+    const std::string text = os.str();
+
+    Json doc;
+    std::string err;
+    ASSERT_TRUE(Json::parse(text, doc, err)) << err;
+
+    // Schema identity and fixed section order: "schema" is the first
+    // member, kind/name follow, context precedes the payload.
+    ASSERT_GE(doc.size(), 4u);
+    EXPECT_EQ(doc.member(0).first, "schema");
+    EXPECT_EQ(doc.member(0).second.asString(), report::kManifestSchema);
+    EXPECT_EQ(doc.member(1).first, "kind");
+    EXPECT_EQ(doc.member(1).second.asString(), "bench");
+    EXPECT_EQ(doc.member(2).first, "name");
+    EXPECT_EQ(doc.member(2).second.asString(), "unit");
+
+    // Host context carries the build/run provenance keys.
+    const Json *ctx = doc.find("context");
+    ASSERT_NE(ctx, nullptr);
+    for (const char *key : {"git_rev", "compiler", "build_type",
+                            "num_cpus", "created_unix_ms", "workers"})
+        EXPECT_NE(ctx->find(key), nullptr) << key;
+
+    // Payload sections written because they are non-empty...
+    ASSERT_NE(doc.find("benchmarks"), nullptr);
+    EXPECT_EQ(doc.find("benchmarks")->at(0).find("name")->asString(),
+              "BM_Unit");
+    ASSERT_NE(doc.find("artifacts"), nullptr);
+    ASSERT_NE(doc.find("warnings"), nullptr);
+    EXPECT_EQ(doc.find("warnings")->at(0).asString(),
+              "synthetic warning");
+    // ...empty ones elided ("jobs" was never touched; no profiler).
+    EXPECT_EQ(doc.find("jobs"), nullptr);
+    EXPECT_EQ(doc.find("profile"), nullptr);
+}
+
+TEST(RunReport, ManifestReparsesByteIdentically)
+{
+    report::RunReport rep("sweep", "roundtrip");
+    rep.aggregate()["sim_instrs"] = Json(uint64_t(987654321));
+    Json j = Json::object();
+    j["tag"] = Json("memcpy/D");
+    j["ok"] = Json(true);
+    j["stat_digest"] = Json(report::statDigest("dump"));
+    rep.addJob(std::move(j));
+
+    std::ostringstream os;
+    rep.write(os);
+    Json doc;
+    std::string err;
+    ASSERT_TRUE(Json::parse(os.str(), doc, err)) << err;
+    // Serializing the parsed document reproduces the exact bytes: the
+    // writer has one canonical form and the parser loses nothing.
+    EXPECT_EQ(doc.str(), os.str());
+}
+
+TEST(RunReport, WarnCaptureRecordsAndForwards)
+{
+    report::RunReport rep("bench", "warncap");
+    std::string forwarded;
+    WarnSink outer = setWarnSink(
+        [&](const std::string &m) { forwarded = m; });
+    {
+        report::WarnCapture wc(rep);
+        warn("captured %d", 42);
+    }
+    setWarnSink(outer);
+
+    EXPECT_EQ(forwarded, "captured 42"); // chained to the outer sink
+    const Json *w = rep.doc().find("warnings");
+    ASSERT_NE(w, nullptr);
+    ASSERT_EQ(w->size(), 1u);
+    EXPECT_EQ(w->at(0).asString(), "captured 42");
+}
+
+TEST(RunReport, ProfileSectionFoldsScopeTotals)
+{
+    prof::Profiler p;
+    prof::Profiler *prev = prof::attach(&p);
+    {
+        TM_PROF_SCOPE(prof::Scope::Compile);
+        {
+            TM_PROF_SCOPE(prof::Scope::Predecode);
+        }
+    }
+    prof::attach(prev);
+
+    report::RunReport rep("bench", "profiled");
+    rep.setProfile(&p);
+    const Json *prof = rep.doc().find("profile");
+    ASSERT_NE(prof, nullptr);
+    const Json *scopes = prof->find("scopes");
+    ASSERT_NE(scopes, nullptr);
+    bool sawCompile = false, sawPredecode = false;
+    for (size_t i = 0; i < scopes->size(); ++i) {
+        const Json &s = scopes->at(i);
+        const std::string &name = s.find("name")->asString();
+        if (name == "compile") {
+            sawCompile = true;
+            EXPECT_EQ(s.find("calls")->asUint(), 1u);
+            // The nested scope's time is accounted as child time.
+            EXPECT_GE(s.find("total_ms")->asDouble(),
+                      s.find("self_ms")->asDouble());
+        }
+        if (name == "predecode") {
+            sawPredecode = true;
+            EXPECT_EQ(s.find("calls")->asUint(), 1u);
+        }
+    }
+    EXPECT_TRUE(sawCompile);
+    EXPECT_TRUE(sawPredecode);
+    // Compile ran with no enclosing scope: root time is non-zero.
+    EXPECT_GT(prof->find("root_ms")->asDouble(), 0.0);
+
+    // A null profiler adds nothing: the placeholder section stays
+    // empty and write() elides it (the off-by-default path).
+    report::RunReport off("bench", "off");
+    off.setProfile(nullptr);
+    std::ostringstream os;
+    off.write(os);
+    Json offDoc;
+    std::string err;
+    ASSERT_TRUE(Json::parse(os.str(), offDoc, err)) << err;
+    EXPECT_EQ(offDoc.find("profile"), nullptr);
+}
